@@ -1,0 +1,124 @@
+//! The fetch-and-add microbenchmark (paper §5, "F&A" in Figure 2).
+//!
+//! *"We also include a microbenchmark that simulates enqueue and dequeue
+//! operations with FAA primitives on two shared variables: one for enqueues
+//! and the other for dequeues. This simple microbenchmark provides a
+//! practical upper bound for the throughput of all queue implementations
+//! based on FAA."*
+//!
+//! It is **not a queue** — no value is transferred — but it implements the
+//! harness interface so it rides the same measurement machinery. A
+//! "dequeue" always reports a (meaningless) value so workloads never treat
+//! it as empty.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+use wfq_sync::CachePadded;
+
+use crate::{BenchQueue, QueueHandle};
+
+/// Two padded counters; each operation is exactly one `lock xadd`.
+pub struct FaaBench {
+    enq_counter: CachePadded<AtomicU64>,
+    deq_counter: CachePadded<AtomicU64>,
+}
+
+/// Per-thread handle for [`FaaBench`].
+pub struct FaaHandle<'q> {
+    q: &'q FaaBench,
+}
+
+impl FaaBench {
+    /// Creates the two counters.
+    pub fn new() -> Self {
+        Self {
+            enq_counter: CachePadded::new(AtomicU64::new(0)),
+            deq_counter: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Registers the calling thread.
+    pub fn register(&self) -> FaaHandle<'_> {
+        FaaHandle { q: self }
+    }
+
+    /// Totals of both counters (simulated enqueues, simulated dequeues).
+    pub fn totals(&self) -> (u64, u64) {
+        (
+            self.enq_counter.load(Ordering::Relaxed),
+            self.deq_counter.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl Default for FaaBench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QueueHandle for FaaHandle<'_> {
+    #[inline]
+    fn enqueue(&mut self, _v: u64) {
+        self.q.enq_counter.fetch_add(1, Ordering::SeqCst);
+    }
+
+    #[inline]
+    fn dequeue(&mut self) -> Option<u64> {
+        Some(self.q.deq_counter.fetch_add(1, Ordering::SeqCst) + 1)
+    }
+}
+
+impl BenchQueue for FaaBench {
+    type Handle<'q> = FaaHandle<'q>;
+    const NAME: &'static str = "F&A";
+    fn new() -> Self {
+        FaaBench::new()
+    }
+    fn register(&self) -> Self::Handle<'_> {
+        FaaBench::register(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operations_count_exactly() {
+        let q = FaaBench::new();
+        let mut h = q.register();
+        for _ in 0..10 {
+            h.enqueue(1);
+        }
+        for _ in 0..7 {
+            assert!(h.dequeue().is_some());
+        }
+        assert_eq!(q.totals(), (10, 7));
+    }
+
+    #[test]
+    fn concurrent_counts_do_not_lose_increments() {
+        let q = FaaBench::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let q = &q;
+                s.spawn(move || {
+                    let mut h = q.register();
+                    for _ in 0..10_000 {
+                        h.enqueue(1);
+                        h.dequeue();
+                    }
+                });
+            }
+        });
+        assert_eq!(q.totals(), (40_000, 40_000));
+    }
+
+    #[test]
+    fn dequeue_never_reports_empty() {
+        let q = FaaBench::new();
+        let mut h = q.register();
+        assert!(h.dequeue().is_some());
+    }
+}

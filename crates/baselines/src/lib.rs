@@ -1,0 +1,200 @@
+//! Baseline concurrent queues from the paper's evaluation (§2, §5).
+//!
+//! The paper compares its wait-free queue against the strongest
+//! representatives of each design school, all implemented here from their
+//! original papers:
+//!
+//! | Module | Algorithm | Progress | Hot-spot primitive |
+//! |---|---|---|---|
+//! | [`msqueue`] | Michael & Scott 1996 (hazard pointers) | lock-free | CAS (retry loops) |
+//! | [`msqueue_ebr`] | Michael & Scott 1996 (epoch reclamation) | lock-free | CAS (retry loops) |
+//! | [`kpqueue`] | Kogan & Petrank 2011 | wait-free | CAS + phase-ordered helping |
+//! | [`lcrq`] | Morrison & Afek 2013 (CRQ ring + list) | lock-free | FAA + CAS2 |
+//! | [`ccqueue`] | Fatourou & Kallimanis 2012 (CC-Synch) | blocking | SWAP + combining |
+//! | [`faa`] | FAA-only microbenchmark | wait-free* | FAA |
+//! | [`mutex_queue`] | `Mutex<VecDeque>` reference | blocking | lock |
+//!
+//! (*the FAA microbenchmark is not a queue — it upper-bounds every
+//! FAA-based queue's throughput; §5 "simulates enqueue and dequeue
+//! operations with FAA primitives on two shared variables".)
+//!
+//! MS-Queue and LCRQ are retrofitted with hazard-pointer reclamation
+//! exactly as the paper does ("To LCRQ and MS-Queue, we added
+//! implementations of the hazard pointer scheme to reclaim memory").
+//!
+//! All queues implement [`BenchQueue`], the uniform harness interface, and
+//! carry the same value restriction as the raw wait-free queue: values in
+//! `1 ..= u64::MAX - 2` (sentinel patterns reserved).
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod ccqueue;
+pub mod crq;
+pub mod faa;
+pub mod kpqueue;
+pub mod lcrq;
+pub mod msqueue;
+pub mod msqueue_ebr;
+pub mod mutex_queue;
+
+pub use ccqueue::CcQueue;
+pub use faa::FaaBench;
+pub use kpqueue::KpQueue;
+pub use lcrq::Lcrq;
+pub use msqueue::MsQueue;
+pub use msqueue_ebr::MsQueueEbr;
+pub use mutex_queue::MutexQueue;
+
+/// A per-thread handle through which a benchmark queue is operated.
+pub trait QueueHandle: Send {
+    /// Enqueues `v` (must avoid the implementation's reserved patterns:
+    /// use `1 ..= u64::MAX - 2`).
+    fn enqueue(&mut self, v: u64);
+    /// Dequeues the oldest value, or `None` if the queue appeared empty.
+    fn dequeue(&mut self) -> Option<u64>;
+}
+
+/// Uniform interface the benchmark harness drives.
+///
+/// Implemented by every baseline here and by the wait-free queue (so
+/// everything the harness compares goes through one interface).
+pub trait BenchQueue: Send + Sync + Sized {
+    /// The per-thread handle type.
+    type Handle<'q>: QueueHandle
+    where
+        Self: 'q;
+    /// Display name used in reports (matches the paper's legend).
+    const NAME: &'static str;
+    /// Creates an empty queue.
+    fn new() -> Self;
+    /// Registers the calling thread.
+    fn register(&self) -> Self::Handle<'_>;
+}
+
+mod wf_impl {
+    use super::{BenchQueue, QueueHandle};
+    use wfqueue::{Config, Handle, RawQueue};
+
+    impl QueueHandle for Handle<'_> {
+        #[inline]
+        fn enqueue(&mut self, v: u64) {
+            Handle::enqueue(self, v);
+        }
+        #[inline]
+        fn dequeue(&mut self) -> Option<u64> {
+            Handle::dequeue(self)
+        }
+    }
+
+    impl BenchQueue for RawQueue {
+        type Handle<'q> = Handle<'q>;
+        const NAME: &'static str = "WF-10";
+        fn new() -> Self {
+            RawQueue::with_config(Config::wf10())
+        }
+        fn register(&self) -> Self::Handle<'_> {
+            RawQueue::register(self)
+        }
+    }
+
+    /// Newtype selecting the paper's WF-0 configuration (patience 0).
+    pub struct Wf0(pub RawQueue);
+
+    /// Handle for [`Wf0`].
+    pub struct Wf0Handle<'q>(Handle<'q>);
+
+    impl QueueHandle for Wf0Handle<'_> {
+        #[inline]
+        fn enqueue(&mut self, v: u64) {
+            self.0.enqueue(v);
+        }
+        #[inline]
+        fn dequeue(&mut self) -> Option<u64> {
+            self.0.dequeue()
+        }
+    }
+
+    impl BenchQueue for Wf0 {
+        type Handle<'q> = Wf0Handle<'q>;
+        const NAME: &'static str = "WF-0";
+        fn new() -> Self {
+            Wf0(RawQueue::with_config(Config::wf0()))
+        }
+        fn register(&self) -> Self::Handle<'_> {
+            Wf0Handle(self.0.register())
+        }
+    }
+}
+
+pub use wf_impl::{Wf0, Wf0Handle};
+
+/// Shared conformance tests: every [`BenchQueue`] must pass these.
+#[cfg(test)]
+pub(crate) mod conformance {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub fn fifo_single_thread<Q: BenchQueue>() {
+        let q = Q::new();
+        let mut h = q.register();
+        for v in 1..=500 {
+            h.enqueue(v);
+        }
+        for v in 1..=500 {
+            assert_eq!(h.dequeue(), Some(v), "{} broke FIFO", Q::NAME);
+        }
+        assert_eq!(h.dequeue(), None, "{} not empty at end", Q::NAME);
+    }
+
+    pub fn interleaved_single_thread<Q: BenchQueue>() {
+        let q = Q::new();
+        let mut h = q.register();
+        assert_eq!(h.dequeue(), None);
+        h.enqueue(1);
+        h.enqueue(2);
+        assert_eq!(h.dequeue(), Some(1));
+        h.enqueue(3);
+        assert_eq!(h.dequeue(), Some(2));
+        assert_eq!(h.dequeue(), Some(3));
+        assert_eq!(h.dequeue(), None);
+    }
+
+    pub fn mpmc_conservation<Q: BenchQueue>(producers: u64, consumers: u64, per: u64) {
+        let q = Q::new();
+        let sum = AtomicU64::new(0);
+        let count = AtomicU64::new(0);
+        let total = producers * per;
+        std::thread::scope(|s| {
+            for t in 0..producers {
+                let q = &q;
+                s.spawn(move || {
+                    let mut h = q.register();
+                    for v in 0..per {
+                        h.enqueue(t * per + v + 1);
+                    }
+                });
+            }
+            for _ in 0..consumers {
+                let q = &q;
+                let sum = &sum;
+                let count = &count;
+                s.spawn(move || {
+                    let mut h = q.register();
+                    loop {
+                        if count.load(Ordering::Relaxed) >= total {
+                            break;
+                        }
+                        if let Some(v) = h.dequeue() {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                            count.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), total, "{} lost values", Q::NAME);
+        let expect: u64 = (1..=total).sum();
+        assert_eq!(sum.load(Ordering::Relaxed), expect, "{} corrupted values", Q::NAME);
+    }
+}

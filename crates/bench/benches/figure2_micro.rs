@@ -1,0 +1,136 @@
+//! Criterion micro-version of Figure 2: per-operation cost of each queue
+//! under the two paper workloads at a few contention levels.
+//!
+//! The `figure2` binary is the faithful reproduction (full Georges et al.
+//! protocol); this bench gives quick, statistically tracked per-op numbers
+//! via `cargo bench`.
+
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfq_baselines::{BenchQueue, CcQueue, FaaBench, Lcrq, MsQueue, MutexQueue, QueueHandle, Wf0};
+use wfq_sync::XorShift64;
+use wfqueue::RawQueue;
+
+/// One timed burst: `ops` operations split over `threads` threads, pairs
+/// workload. Returns total wall time of the slowest thread.
+fn pairs_burst<Q: BenchQueue>(threads: usize, ops: u64) -> Duration {
+    let q = Q::new();
+    let per_pairs = (ops / threads as u64 / 2).max(1);
+    let barrier = Barrier::new(threads);
+    let mut worst = Duration::ZERO;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let q = &q;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let mut h = q.register();
+                    let tag = ((t as u64 + 1) << 40) | 1;
+                    barrier.wait();
+                    let start = Instant::now();
+                    for i in 0..per_pairs {
+                        h.enqueue(tag + i);
+                        let _ = h.dequeue();
+                    }
+                    start.elapsed()
+                })
+            })
+            .collect();
+        for h in handles {
+            worst = worst.max(h.join().unwrap());
+        }
+    });
+    worst
+}
+
+/// 50%-enqueues burst.
+fn fifty_burst<Q: BenchQueue>(threads: usize, ops: u64) -> Duration {
+    let q = Q::new();
+    let per = (ops / threads as u64).max(1);
+    let barrier = Barrier::new(threads);
+    let mut worst = Duration::ZERO;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let q = &q;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let mut h = q.register();
+                    let mut rng = XorShift64::for_stream(3, t as u64);
+                    let tag = ((t as u64 + 1) << 40) | 1;
+                    let mut c = 0;
+                    barrier.wait();
+                    let start = Instant::now();
+                    for _ in 0..per {
+                        if rng.coin() {
+                            c += 1;
+                            h.enqueue(tag + c);
+                        } else {
+                            let _ = h.dequeue();
+                        }
+                    }
+                    start.elapsed()
+                })
+            })
+            .collect();
+        for h in handles {
+            worst = worst.max(h.join().unwrap());
+        }
+    });
+    worst
+}
+
+fn bench_pairs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure2_pairs");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    const OPS: u64 = 40_000;
+    for threads in [1usize, 2, 4] {
+        macro_rules! case {
+            ($q:ty) => {
+                g.bench_with_input(
+                    BenchmarkId::new(<$q as BenchQueue>::NAME, threads),
+                    &threads,
+                    |b, &t| b.iter_custom(|iters| (0..iters).map(|_| pairs_burst::<$q>(t, OPS)).sum()),
+                );
+            };
+        }
+        case!(RawQueue);
+        case!(Wf0);
+        case!(FaaBench);
+        case!(CcQueue);
+        case!(MsQueue);
+        case!(Lcrq);
+        case!(MutexQueue);
+    }
+    g.finish();
+}
+
+fn bench_fifty(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure2_fifty");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    const OPS: u64 = 40_000;
+    for threads in [1usize, 4] {
+        macro_rules! case {
+            ($q:ty) => {
+                g.bench_with_input(
+                    BenchmarkId::new(<$q as BenchQueue>::NAME, threads),
+                    &threads,
+                    |b, &t| b.iter_custom(|iters| (0..iters).map(|_| fifty_burst::<$q>(t, OPS)).sum()),
+                );
+            };
+        }
+        case!(RawQueue);
+        case!(Wf0);
+        case!(FaaBench);
+        case!(CcQueue);
+        case!(MsQueue);
+        case!(Lcrq);
+        case!(MutexQueue);
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pairs, bench_fifty);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Per-primitive and per-operation micro-costs.
+//!
+//! Quantifies the building blocks the paper's argument rests on: FAA
+//! (always succeeds) vs CAS (can fail) vs CAS2, and the uncontended
+//! single-op cost of each queue — the "single core performance" discussion
+//! of §5.2.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wfq_baselines::{BenchQueue, CcQueue, Lcrq, MsQueue, MutexQueue, QueueHandle};
+use wfq_sync::dwcas::AtomicU128;
+use wfqueue::RawQueue;
+
+fn bench_atomics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primitives");
+    g.sample_size(20).measurement_time(Duration::from_secs(1));
+
+    let counter = AtomicU64::new(0);
+    g.bench_function("faa", |b| {
+        b.iter(|| std::hint::black_box(counter.fetch_add(1, Ordering::SeqCst)))
+    });
+
+    let cas_target = AtomicU64::new(0);
+    g.bench_function("cas_success", |b| {
+        b.iter(|| {
+            let cur = cas_target.load(Ordering::Relaxed);
+            std::hint::black_box(
+                cas_target
+                    .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok(),
+            )
+        })
+    });
+
+    let wide = AtomicU128::new(0, 0);
+    g.bench_function("cas2_success", |b| {
+        b.iter(|| {
+            let cur = wide.load();
+            std::hint::black_box(wide.compare_exchange(cur, (cur.0 + 1, cur.1 + 1)).is_ok())
+        })
+    });
+    g.finish();
+}
+
+fn bench_single_op(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uncontended_pair");
+    g.sample_size(20).measurement_time(Duration::from_secs(1));
+
+    macro_rules! case {
+        ($q:ty) => {{
+            let q = <$q as BenchQueue>::new();
+            let mut h = q.register();
+            let mut i = 0u64;
+            g.bench_function(<$q as BenchQueue>::NAME, |b| {
+                b.iter(|| {
+                    i += 1;
+                    h.enqueue(i);
+                    std::hint::black_box(h.dequeue())
+                })
+            });
+        }};
+    }
+    case!(RawQueue);
+    case!(MsQueue);
+    case!(Lcrq);
+    case!(CcQueue);
+    case!(MutexQueue);
+    g.finish();
+}
+
+criterion_group!(benches, bench_atomics, bench_single_op);
+criterion_main!(benches);

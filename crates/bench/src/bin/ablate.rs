@@ -1,0 +1,154 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! - `patience` — the fast-path retry budget (paper §5: WF-10 vs WF-0;
+//!   here a full sweep 0,1,2,10,100).
+//! - `segment` — segment size N (paper §5.1 fixes N = 2^10; here
+//!   2^6 … 2^14).
+//! - `garbage` — the MAX_GARBAGE reclamation threshold: throughput vs.
+//!   retained memory (paper §3.6 "to amortize the cost of memory
+//!   reclamation").
+//!
+//! ```text
+//! cargo run -p wfq-bench --release --bin ablate -- patience|segment|garbage
+//!     [--threads T] [--ops N]
+//! ```
+//!
+//! Ablations use a lighter protocol than figure2 (best-of-5 iterations) —
+//! they compare configurations of one implementation, not competing
+//! implementations.
+
+use std::sync::Barrier;
+use std::time::Instant;
+
+use wfq_bench::Args;
+use wfq_harness::topology;
+use wfq_sync::XorShift64;
+use wfqueue::{Config, RawQueue};
+
+/// Runs a pairs workload on a fresh `RawQueue<N>`; returns Mops/s and the
+/// queue's final stats.
+fn run_pairs<const N: usize>(
+    cfg: Config,
+    threads: usize,
+    total_ops: u64,
+    pin: bool,
+) -> (f64, wfqueue::QueueStats) {
+    let q: RawQueue<N> = RawQueue::with_config(cfg);
+    let per_thread_pairs = (total_ops / threads as u64 / 2).max(1);
+    let barrier = Barrier::new(threads);
+    let mut worst_ns = 0u64;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let q = &q;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    if pin {
+                        topology::pin_to_cpu(t);
+                    }
+                    let mut h = q.register();
+                    let mut rng = XorShift64::for_stream(7, t as u64);
+                    let tag = ((t as u64 + 1) << 40) | 1;
+                    barrier.wait();
+                    let start = Instant::now();
+                    for i in 0..per_thread_pairs {
+                        h.enqueue(tag + i + 1);
+                        let _ = h.dequeue();
+                        // A touch of irregularity without a calibrated
+                        // delay: a handful of spin hints.
+                        for _ in 0..rng.next_below(8) {
+                            core::hint::spin_loop();
+                        }
+                    }
+                    start.elapsed().as_nanos() as u64
+                })
+            })
+            .collect();
+        for h in handles {
+            worst_ns = worst_ns.max(h.join().unwrap());
+        }
+    });
+    let ops = per_thread_pairs * 2 * threads as u64;
+    (ops as f64 / worst_ns as f64 * 1e3, q.stats())
+}
+
+fn best_of<const N: usize>(cfg: Config, threads: usize, ops: u64, pin: bool) -> (f64, wfqueue::QueueStats) {
+    let mut best = 0.0f64;
+    let mut stats = wfqueue::QueueStats::default();
+    for _ in 0..5 {
+        let (m, s) = run_pairs::<N>(cfg, threads, ops, pin);
+        if m > best {
+            best = m;
+            stats = s;
+        }
+    }
+    (best, stats)
+}
+
+fn ablate_patience(threads: usize, ops: u64, pin: bool) {
+    println!("Ablation A: fast-path PATIENCE (pairs workload, {threads} threads, best of 5)\n");
+    println!("| patience | Mops/s | % slow enq | % slow deq |");
+    println!("|---|---|---|---|");
+    for p in [0u32, 1, 2, 10, 100] {
+        let (mops, st) = best_of::<1024>(Config::default().with_patience(p), threads, ops, pin);
+        println!(
+            "| {p} | {mops:.2} | {:.3} | {:.3} |",
+            st.pct_slow_enq(),
+            st.pct_slow_deq()
+        );
+    }
+}
+
+fn ablate_segment(threads: usize, ops: u64, pin: bool) {
+    println!("Ablation B: segment size N (pairs workload, {threads} threads, best of 5)\n");
+    println!("| N (cells) | Mops/s | segments allocated |");
+    println!("|---|---|---|");
+    macro_rules! row {
+        ($n:literal) => {{
+            let (mops, st) = best_of::<$n>(Config::default(), threads, ops, pin);
+            println!("| {} | {mops:.2} | {} |", $n, st.segs_alloc);
+        }};
+    }
+    row!(64);
+    row!(256);
+    row!(1024);
+    row!(4096);
+    row!(16384);
+}
+
+fn ablate_garbage(threads: usize, ops: u64, pin: bool) {
+    println!("Ablation C: MAX_GARBAGE reclamation threshold (pairs workload, {threads} threads, best of 5)\n");
+    println!("| MAX_GARBAGE | Mops/s | cleanups | segs freed | live segs at end |");
+    println!("|---|---|---|---|---|");
+    for g in [1u64, 4, 16, 64, 256, u64::MAX / 2] {
+        let cfg = Config::default().with_max_garbage(g);
+        let (mops, st) = best_of::<256>(cfg, threads, ops, pin);
+        let label = if g > 1_000_000 { "∞".to_string() } else { g.to_string() };
+        println!(
+            "| {label} | {mops:.2} | {} | {} | {} |",
+            st.cleanups,
+            st.segs_freed,
+            st.live_segments()
+        );
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let threads = args.num("threads", 4) as usize;
+    let ops = args.num("ops", 400_000);
+    let pin = !args.flag("no-pin");
+    match mode.as_str() {
+        "patience" => ablate_patience(threads, ops, pin),
+        "segment" => ablate_segment(threads, ops, pin),
+        "garbage" => ablate_garbage(threads, ops, pin),
+        _ => {
+            ablate_patience(threads, ops, pin);
+            println!();
+            ablate_segment(threads, ops, pin);
+            println!();
+            ablate_garbage(threads, ops, pin);
+        }
+    }
+}

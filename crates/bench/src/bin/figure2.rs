@@ -1,0 +1,108 @@
+//! Regenerates the paper's **Figure 2**: throughput of WF-10, WF-0, F&A,
+//! CCQUEUE, MSQUEUE, LCRQ (plus a MUTEX reference) as a function of thread
+//! count, for both workloads.
+//!
+//! ```text
+//! cargo run -p wfq-bench --release --bin figure2 -- \
+//!     [--workload pairs|fifty|both] [--threads 1,2,4,8] [--ops N] \
+//!     [--full] [--quick] [--csv out.csv]
+//! ```
+//!
+//! `--full` uses the paper's exact parameters (10^7 ops, 20 iterations,
+//! 10 invocations); the default is scaled down to finish in minutes on a
+//! small host. `--quick` shrinks further for smoke tests.
+
+use std::fmt::Write as _;
+
+use wfq_baselines::{CcQueue, FaaBench, KpQueue, Lcrq, MsQueue, MutexQueue, Wf0};
+use wfq_bench::{default_ops, default_thread_sweep, Args};
+use wfq_harness::{render_csv, render_markdown, run_series, BenchConfig, Series, Workload};
+use wfqueue::RawQueue;
+
+fn sweep(args: &Args) -> Vec<usize> {
+    match args.get("threads") {
+        Some(list) => list
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .collect(),
+        None => default_thread_sweep(),
+    }
+}
+
+fn config(args: &Args, workload: Workload) -> BenchConfig {
+    let full = args.flag("full");
+    let quick = args.flag("quick");
+    let mut cfg = if full {
+        BenchConfig::paper(workload)
+    } else if quick {
+        BenchConfig::quick(workload)
+    } else {
+        BenchConfig {
+            workload,
+            total_ops: default_ops(false),
+            max_iterations: 10,
+            invocations: 5,
+            ..BenchConfig::default()
+        }
+    };
+    cfg.total_ops = args.num("ops", cfg.total_ops);
+    cfg.invocations = args.num("invocations", cfg.invocations as u64) as usize;
+    cfg.pin = !args.flag("no-pin");
+    cfg
+}
+
+fn run_workload(args: &Args, workload: Workload, threads: &[usize]) -> Vec<Series> {
+    let cfg = config(args, workload);
+    eprintln!(
+        "figure2: workload = {}, threads = {threads:?}, ops/iter = {}, invocations = {}",
+        workload.name(),
+        cfg.total_ops,
+        cfg.invocations
+    );
+    let mut all = Vec::new();
+    macro_rules! series {
+        ($q:ty) => {{
+            eprintln!("  measuring {} ...", <$q as wfq_baselines::BenchQueue>::NAME);
+            all.push(run_series::<$q>(threads, &cfg));
+        }};
+    }
+    series!(RawQueue); // WF-10
+    series!(Wf0);
+    series!(FaaBench);
+    series!(CcQueue);
+    series!(MsQueue);
+    series!(Lcrq);
+    series!(KpQueue);
+    series!(MutexQueue);
+    all
+}
+
+fn main() {
+    let args = Args::parse();
+    let threads = sweep(&args);
+    let which = args.get("workload").unwrap_or("both").to_string();
+
+    let mut md = String::new();
+    let mut csv = String::new();
+    if which == "pairs" || which == "both" {
+        let series = run_workload(&args, Workload::Pairs, &threads);
+        md.push_str(&render_markdown(
+            &series,
+            "Figure 2 (top): enqueue-dequeue pairs",
+        ));
+        md.push('\n');
+        let _ = write!(csv, "# workload=pairs\n{}", render_csv(&series));
+    }
+    if which == "fifty" || which == "both" {
+        let series = run_workload(&args, Workload::FiftyEnqueues, &threads);
+        md.push_str(&render_markdown(&series, "Figure 2 (bottom): 50%-enqueues"));
+        md.push('\n');
+        let _ = write!(csv, "# workload=fifty\n{}", render_csv(&series));
+    }
+
+    println!("{md}");
+    if let Some(path) = args.get("csv") {
+        std::fs::write(path, csv).expect("write csv");
+        eprintln!("csv written to {path}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Extension experiment: per-operation **latency percentiles** under
+//! contention — the "predictable performance" half of the paper's opening
+//! sentence, which Figure 2's throughput numbers don't show.
+//!
+//! ```text
+//! cargo run -p wfq-bench --release --bin latency -- [--threads T] [--ops N]
+//! ```
+//!
+//! Each thread runs the pairs workload and records every operation's wall
+//! time in a log-bucketed histogram; per-queue histograms are merged and
+//! the p50/p99/p99.9/max row is printed. Wait-free designs bound the
+//! worst case; blocking designs (CC-Queue, mutex) show unbounded tails
+//! when a lock holder or combiner is descheduled — most visible at
+//! oversubscribed thread counts.
+
+use std::sync::{Barrier, Mutex};
+use std::time::Instant;
+
+use wfq_baselines::{
+    BenchQueue, CcQueue, FaaBench, KpQueue, Lcrq, MsQueue, MutexQueue, QueueHandle, Wf0,
+};
+use wfq_bench::Args;
+use wfq_harness::histogram::Histogram;
+use wfq_harness::topology;
+use wfqueue::RawQueue;
+
+fn run<Q: BenchQueue>(threads: usize, total_ops: u64, pin: bool) -> Histogram {
+    let q = Q::new();
+    let pairs = (total_ops / threads as u64 / 2).max(1);
+    let barrier = Barrier::new(threads);
+    let merged = Mutex::new(Histogram::new());
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let q = &q;
+            let barrier = &barrier;
+            let merged = &merged;
+            s.spawn(move || {
+                if pin {
+                    topology::pin_to_cpu(t);
+                }
+                let mut h = q.register();
+                let mut hist = Histogram::new();
+                let tag = ((t as u64 + 1) << 40) | 1;
+                barrier.wait();
+                for i in 0..pairs {
+                    let t0 = Instant::now();
+                    h.enqueue(tag + i);
+                    hist.record(t0.elapsed().as_nanos() as u64);
+                    let t1 = Instant::now();
+                    let _ = h.dequeue();
+                    hist.record(t1.elapsed().as_nanos() as u64);
+                }
+                merged.lock().unwrap().merge(&hist);
+            });
+        }
+    });
+    merged.into_inner().unwrap()
+}
+
+fn main() {
+    let args = Args::parse();
+    let threads = args.num("threads", (topology::num_cpus() * 2).max(4) as u64) as usize;
+    let ops = args.num("ops", 400_000);
+    let pin = !args.flag("no-pin");
+    println!(
+        "Per-operation latency, pairs workload, {threads} threads, {ops} ops \
+         ({} hardware threads)\n",
+        topology::num_cpus()
+    );
+    println!("| queue | p50 | p99 | p99.9 | max |");
+    println!("|---|---|---|---|---|");
+    macro_rules! row {
+        ($q:ty) => {{
+            let h = run::<$q>(threads, ops, pin);
+            println!(
+                "| {} | {} | {} | {} | {} |",
+                <$q as BenchQueue>::NAME,
+                wfq_harness::histogram::fmt_ns(h.quantile(0.50)),
+                wfq_harness::histogram::fmt_ns(h.quantile(0.99)),
+                wfq_harness::histogram::fmt_ns(h.quantile(0.999)),
+                wfq_harness::histogram::fmt_ns(h.max()),
+            );
+        }};
+    }
+    row!(FaaBench);
+    row!(RawQueue);
+    row!(Wf0);
+    row!(Lcrq);
+    row!(MsQueue);
+    row!(CcQueue);
+    row!(KpQueue);
+    row!(MutexQueue);
+    println!(
+        "\nnote: on a multi-hardware-thread host the blocking designs' max \
+         column grows with descheduling; wait-free designs stay bounded."
+    );
+}

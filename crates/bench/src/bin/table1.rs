@@ -1,0 +1,27 @@
+//! Regenerates the paper's **Table 1** (summary of experimental platforms)
+//! for the host this reproduction runs on.
+//!
+//! ```text
+//! cargo run -p wfq-bench --release --bin table1
+//! ```
+
+use wfq_harness::topology::PlatformInfo;
+
+fn main() {
+    let p = PlatformInfo::detect();
+    println!("Table 1: summary of the experimental platform (this host)\n");
+    println!("| Processor Model | # of Processors | # of Cores | # of Threads | Native FAA | Native CAS2 |");
+    println!("|---|---|---|---|---|---|");
+    println!("{}", p.markdown_row());
+    println!();
+    println!(
+        "note: the paper evaluated four machines (Haswell, Xeon Phi, \
+         Magny-Cours, Power7); this reproduction reports the single host \
+         it runs on. LCRQ requires native CAS2: {}.",
+        if p.native_cas2 {
+            "available here"
+        } else {
+            "NOT available here (LCRQ falls back to a blocking emulation)"
+        }
+    );
+}

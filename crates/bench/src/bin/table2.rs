@@ -1,0 +1,52 @@
+//! Regenerates the paper's **Table 2**: breakdown of execution paths for
+//! the WF-0 configuration on the 50%-enqueues benchmark, including
+//! oversubscribed thread counts (the paper's 144/288-thread columns).
+//!
+//! ```text
+//! cargo run -p wfq-bench --release --bin table2 -- [--ops N] [--patience P]
+//! ```
+
+use wfq_bench::Args;
+use wfq_harness::breakdown::{render_table2, run_breakdown};
+use wfq_harness::topology;
+use wfq_harness::{BenchConfig, Workload};
+
+fn main() {
+    let args = Args::parse();
+    let hw = topology::num_cpus();
+    let patience = args.num("patience", 0) as u32;
+    // The paper uses 36 / 72 / 144 / 288 on a 72-hardware-thread machine:
+    // half, full, 2× and 4× oversubscription. Reproduce those ratios.
+    let mut counts: Vec<usize> = vec![(hw / 2).max(1), hw, hw * 2, hw * 4];
+    counts.dedup();
+
+    let mut rows = Vec::new();
+    for &threads in &counts {
+        let cfg = BenchConfig {
+            threads,
+            total_ops: args.num("ops", 400_000),
+            workload: Workload::FiftyEnqueues,
+            pin: !args.flag("no-pin"),
+            ..BenchConfig::default()
+        };
+        eprintln!("table2: running WF-{patience} with {threads} threads ...");
+        rows.push(run_breakdown(patience, &cfg));
+    }
+
+    println!(
+        "Table 2: breakdown of execution paths of WF-{patience} \
+         (50%-enqueues benchmark, {} hardware threads; counts beyond {} are oversubscribed)\n",
+        hw, hw
+    );
+    println!("{}", render_table2(&rows));
+    for r in &rows {
+        eprintln!(
+            "  {} threads: {} enq, {} deq, {} cleanups, {} segments freed",
+            r.threads,
+            r.stats.enqueues(),
+            r.stats.dequeues(),
+            r.stats.cleanups,
+            r.stats.segs_freed
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Shared plumbing for the benchmark binaries (`src/bin/`) and the
+//! Criterion micro-benchmarks (`benches/`).
+//!
+//! Each binary regenerates one artifact of the paper's evaluation:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1`  | Table 1 — platform summary |
+//! | `figure2` | Figure 2 — throughput vs. threads, both workloads |
+//! | `table2`  | Table 2 — WF-0 execution-path breakdown |
+//! | `ablate`  | design-choice ablations (PATIENCE, segment size, MAX_GARBAGE) |
+
+use wfq_harness::topology;
+
+/// Tiny argv parser: `--key value` and bare flags.
+#[derive(Debug, Default)]
+pub struct Args {
+    pairs: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    /// Parses `std::env::args` (skipping the binary name).
+    pub fn parse() -> Self {
+        let raw: Vec<String> = std::env::args().skip(1).collect();
+        Self::from_raw(&raw)
+    }
+
+    /// Parses a pre-split argv (testable).
+    pub fn from_raw(raw: &[String]) -> Self {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let key = raw[i].trim_start_matches('-').to_string();
+            if i + 1 < raw.len() && !raw[i + 1].starts_with('-') {
+                pairs.push((key, Some(raw[i + 1].clone())));
+                i += 2;
+            } else {
+                pairs.push((key, None));
+                i += 1;
+            }
+        }
+        Self { pairs }
+    }
+
+    /// Value of `--key`, if present with a value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// Whether `--key` appeared at all.
+    pub fn flag(&self, key: &str) -> bool {
+        self.pairs.iter().any(|(k, _)| k == key)
+    }
+
+    /// Parsed numeric value of `--key`, or `default`.
+    pub fn num(&self, key: &str, default: u64) -> u64 {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+}
+
+/// Default thread sweep for this host: 1, then powers of two up to 4× the
+/// hardware threads (the paper sweeps to the machine's full thread count
+/// and Table 2 oversubscribes beyond it).
+pub fn default_thread_sweep() -> Vec<usize> {
+    let hw = topology::num_cpus();
+    let mut v = vec![1usize];
+    let mut t = 2;
+    while t <= hw * 4 {
+        v.push(t);
+        t *= 2;
+    }
+    v.dedup();
+    v
+}
+
+/// Scales the paper's 10^7 operations to something tractable for the host
+/// unless the user asked for the full run (`--full`).
+pub fn default_ops(full: bool) -> u64 {
+    if full {
+        10_000_000
+    } else {
+        500_000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_key_value_and_flags() {
+        let a = Args::from_raw(&argv(&["--workload", "pairs", "--full", "--ops", "1000"]));
+        assert_eq!(a.get("workload"), Some("pairs"));
+        assert!(a.flag("full"));
+        assert_eq!(a.num("ops", 5), 1000);
+        assert_eq!(a.num("missing", 5), 5);
+    }
+
+    #[test]
+    fn sweep_starts_at_one_and_is_increasing() {
+        let s = default_thread_sweep();
+        assert_eq!(s[0], 1);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn ops_scaling() {
+        assert_eq!(default_ops(true), 10_000_000);
+        assert!(default_ops(false) < 10_000_000);
+    }
+}

@@ -1,0 +1,30 @@
+//! History recording and FIFO linearizability checking.
+//!
+//! The paper's §4 proves the queue linearizable by constructing an explicit
+//! linearization procedure. This crate provides the *testing* counterpart:
+//! record real concurrent executions and check them against the sequential
+//! FIFO specification.
+//!
+//! Two checkers with complementary cost/completeness trade-offs:
+//!
+//! - [`linearize::check`] — a Wing–Gong-style exhaustive search with
+//!   memoization (Lowe's optimization). Sound **and** complete: it accepts
+//!   a history iff a valid linearization exists. Exponential worst case;
+//!   use on small histories (≤ ~100 operations).
+//! - [`invariants::check_necessary`] — linear/near-linear *necessary*
+//!   conditions (value conservation, uniqueness, real-time FIFO order,
+//!   EMPTY witnesses). Any violation proves non-linearizability; passing
+//!   does not prove linearizability. Use on large stress histories.
+//!
+//! Values must be unique per history (the harness tags them), which is what
+//! makes the queue specification efficiently checkable.
+
+#![warn(missing_docs)]
+
+pub mod history;
+pub mod invariants;
+pub mod linearize;
+
+pub use history::{History, OpKind, Operation, Recorder, ThreadRecorder};
+pub use invariants::{check_necessary, Violation};
+pub use linearize::{check as check_linearizable, CheckResult};

@@ -1,0 +1,214 @@
+//! Queue cells and their reserved sentinel values (paper Listing 2, §3.3).
+//!
+//! A cell is the triple `(val, enq, deq)`:
+//!
+//! - `val` holds ⊥ (never written), ⊤ (marked unusable by a dequeuer), or an
+//!   enqueued value;
+//! - `enq` holds ⊥e (unreserved), ⊤e (no enqueue will ever fill this cell),
+//!   or a pointer to the [`EnqReq`] that reserved it;
+//! - `deq` holds ⊥d (value unclaimed), ⊤d (claimed by a fast-path dequeue),
+//!   or a pointer to the [`DeqReq`] that claimed it.
+//!
+//! Every cell starts as `(⊥, ⊥e, ⊥d)`. We choose the encodings so that the
+//! all-zero bit pattern *is* that initial state, letting segments come out
+//! of `alloc_zeroed` ready to use.
+
+use core::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+use crate::request::{DeqReq, EnqReq};
+
+/// ⊥ — the "never written" value sentinel.
+pub(crate) const VAL_BOTTOM: u64 = 0;
+/// ⊤ — the "unusable, no enqueue may deposit here" value sentinel.
+pub(crate) const VAL_TOP: u64 = u64::MAX;
+
+/// ⊥e — no enqueue request has reserved this cell.
+pub(crate) const ENQ_BOTTOM: *mut EnqReq = core::ptr::null_mut();
+/// ⊤e — helpers agreed no enqueue request will ever fill this cell.
+pub(crate) const ENQ_TOP: *mut EnqReq = 1usize as *mut EnqReq;
+
+/// ⊥d — the value in this cell is unclaimed by dequeuers.
+pub(crate) const DEQ_BOTTOM: *mut DeqReq = core::ptr::null_mut();
+/// ⊤d — the value was claimed by a fast-path dequeue.
+pub(crate) const DEQ_TOP: *mut DeqReq = 1usize as *mut DeqReq;
+
+/// Checks that a user value avoids the reserved patterns.
+#[inline]
+pub(crate) const fn is_valid_value(v: u64) -> bool {
+    v != VAL_BOTTOM && v != VAL_TOP
+}
+
+/// One cell of the emulated infinite array.
+#[derive(Debug)]
+#[repr(C)]
+pub(crate) struct Cell {
+    pub val: AtomicU64,
+    pub enq: AtomicPtr<EnqReq>,
+    pub deq: AtomicPtr<DeqReq>,
+}
+
+impl Cell {
+    /// Fast-path enqueue deposit: `(val: ⊥ → v)` (paper line 68).
+    #[inline]
+    pub fn try_deposit(&self, v: u64) -> bool {
+        self.val
+            .compare_exchange(VAL_BOTTOM, v, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// The help_enq opening move (paper line 91): attempt `(val: ⊥ → ⊤)`.
+    /// Returns the value if the cell already held a real one.
+    #[inline]
+    pub fn mark_or_value(&self) -> Option<u64> {
+        match self
+            .val
+            .compare_exchange(VAL_BOTTOM, VAL_TOP, Ordering::SeqCst, Ordering::SeqCst)
+        {
+            Ok(_) => None,
+            Err(cur) if cur != VAL_TOP => Some(cur),
+            Err(_) => None,
+        }
+    }
+
+    #[inline]
+    pub fn load_val(&self) -> u64 {
+        self.val.load(Ordering::SeqCst)
+    }
+
+    #[inline]
+    pub fn load_enq(&self) -> *mut EnqReq {
+        self.enq.load(Ordering::SeqCst)
+    }
+
+    /// `(enq: ⊥e → r)` — reserve this cell for request `r` (Dijkstra
+    /// protocol, paper lines 80 and 103).
+    #[inline]
+    pub fn try_reserve_enq(&self, r: *mut EnqReq) -> bool {
+        self.enq
+            .compare_exchange(ENQ_BOTTOM, r, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// `(enq: ⊥e → ⊤e)` — seal the cell against future enqueue helpers
+    /// (paper line 111).
+    #[inline]
+    pub fn try_seal_enq(&self) {
+        let _ = self
+            .enq
+            .compare_exchange(ENQ_BOTTOM, ENQ_TOP, Ordering::SeqCst, Ordering::SeqCst);
+    }
+
+    #[inline]
+    pub fn load_deq(&self) -> *mut DeqReq {
+        self.deq.load(Ordering::SeqCst)
+    }
+
+    /// `(deq: ⊥d → ⊤d)` — fast-path dequeue claims the value (paper line 146).
+    #[inline]
+    pub fn try_claim_deq_fast(&self) -> bool {
+        self.deq
+            .compare_exchange(DEQ_BOTTOM, DEQ_TOP, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// `(deq: ⊥d → r)` — claim the value for slow-path request `r`
+    /// (paper line 194).
+    #[inline]
+    pub fn try_claim_deq_slow(&self, r: *mut DeqReq) -> bool {
+        self.deq
+            .compare_exchange(DEQ_BOTTOM, r, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> Cell {
+        // SAFETY-free equivalent of the zeroed allocation used for segments.
+        Cell {
+            val: AtomicU64::new(VAL_BOTTOM),
+            enq: AtomicPtr::new(ENQ_BOTTOM),
+            deq: AtomicPtr::new(DEQ_BOTTOM),
+        }
+    }
+
+    #[test]
+    fn zeroed_bit_pattern_is_the_initial_state() {
+        // alloc_zeroed gives all-zero cells; check the sentinels agree.
+        assert_eq!(VAL_BOTTOM, 0);
+        assert!(ENQ_BOTTOM.is_null());
+        assert!(DEQ_BOTTOM.is_null());
+    }
+
+    #[test]
+    fn deposit_succeeds_once() {
+        let c = fresh();
+        assert!(c.try_deposit(42));
+        assert!(!c.try_deposit(43));
+        assert_eq!(c.load_val(), 42);
+    }
+
+    #[test]
+    fn mark_or_value_on_fresh_cell_marks_top() {
+        let c = fresh();
+        assert_eq!(c.mark_or_value(), None);
+        assert_eq!(c.load_val(), VAL_TOP);
+        // A subsequent enqueue deposit must now fail (unusable cell).
+        assert!(!c.try_deposit(1));
+    }
+
+    #[test]
+    fn mark_or_value_returns_existing_value() {
+        let c = fresh();
+        assert!(c.try_deposit(7));
+        assert_eq!(c.mark_or_value(), Some(7));
+        assert_eq!(c.load_val(), 7, "value must be preserved");
+    }
+
+    #[test]
+    fn mark_or_value_on_top_cell_is_none() {
+        let c = fresh();
+        assert_eq!(c.mark_or_value(), None);
+        assert_eq!(c.mark_or_value(), None, "already ⊤: not a value");
+    }
+
+    #[test]
+    fn enq_reservation_and_sealing_are_exclusive() {
+        let c = fresh();
+        let mut req = EnqReq::new();
+        assert!(c.try_reserve_enq(&mut req));
+        c.try_seal_enq(); // must be a no-op now
+        assert_eq!(c.load_enq(), &mut req as *mut _);
+
+        let c2 = fresh();
+        c2.try_seal_enq();
+        let mut req2 = EnqReq::new();
+        assert!(!c2.try_reserve_enq(&mut req2));
+        assert_eq!(c2.load_enq(), ENQ_TOP);
+    }
+
+    #[test]
+    fn deq_claims_are_exclusive() {
+        let c = fresh();
+        assert!(c.try_claim_deq_fast());
+        assert!(!c.try_claim_deq_fast());
+        let mut r = DeqReq::new();
+        assert!(!c.try_claim_deq_slow(&mut r));
+
+        let c2 = fresh();
+        let mut r2 = DeqReq::new();
+        assert!(c2.try_claim_deq_slow(&mut r2));
+        assert!(!c2.try_claim_deq_fast());
+        assert_eq!(c2.load_deq(), &mut r2 as *mut _);
+    }
+
+    #[test]
+    fn valid_value_range_excludes_sentinels() {
+        assert!(!is_valid_value(VAL_BOTTOM));
+        assert!(!is_valid_value(VAL_TOP));
+        assert!(is_valid_value(1));
+        assert!(is_valid_value(u64::MAX - 1));
+    }
+}

@@ -1,0 +1,183 @@
+//! Owned (Arc-backed) handles.
+//!
+//! [`crate::Handle`] and [`crate::LocalHandle`] borrow the queue, which is
+//! perfect with scoped threads but awkward for detached workers. The owned
+//! variants bundle an `Arc` of the queue with the registered ring node, so
+//! a handle can be moved into a `std::thread::spawn` closure and the queue
+//! lives exactly as long as its last user.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use wfqueue::WfQueue;
+//!
+//! let q = Arc::new(WfQueue::new());
+//! let mut producer = wfqueue::OwnedLocalHandle::new(Arc::clone(&q));
+//! let worker = std::thread::spawn(move || {
+//!     producer.enqueue(7u32);
+//! });
+//! worker.join().unwrap();
+//! let mut h = q.handle();
+//! assert_eq!(h.dequeue(), Some(7));
+//! ```
+
+use std::sync::Arc;
+
+use crate::handle::HandleNode;
+use crate::raw::RawQueue;
+use crate::typed::WfQueue;
+use crate::DEFAULT_SEGMENT_SIZE;
+
+/// An owning per-thread handle to an `Arc<RawQueue>`.
+pub struct OwnedHandle<const N: usize = DEFAULT_SEGMENT_SIZE> {
+    queue: Arc<RawQueue<N>>,
+    node: *mut HandleNode<N>,
+}
+
+// SAFETY: exclusive capability over the node; &mut receivers prevent
+// concurrent use; the Arc keeps the queue (and thus the node) alive.
+unsafe impl<const N: usize> Send for OwnedHandle<N> {}
+
+impl<const N: usize> OwnedHandle<N> {
+    /// Registers a new owned handle on `queue`.
+    pub fn new(queue: Arc<RawQueue<N>>) -> Self {
+        let node = queue.acquire_node();
+        Self { queue, node }
+    }
+
+    /// Enqueues `v`. Wait-free. Panics on the reserved patterns
+    /// (`0`, `u64::MAX`).
+    #[inline]
+    pub fn enqueue(&mut self, v: u64) {
+        // SAFETY: node is live while the Arc'd queue lives.
+        self.queue.enqueue_internal(unsafe { &*self.node }, v);
+    }
+
+    /// Dequeues the oldest value, or `None` if observed empty. Wait-free.
+    #[inline]
+    pub fn dequeue(&mut self) -> Option<u64> {
+        // SAFETY: as above.
+        self.queue.dequeue_internal(unsafe { &*self.node })
+    }
+
+    /// The queue this handle operates on.
+    pub fn queue(&self) -> &Arc<RawQueue<N>> {
+        &self.queue
+    }
+}
+
+impl<const N: usize> Drop for OwnedHandle<N> {
+    fn drop(&mut self) {
+        self.queue.release_node(self.node);
+    }
+}
+
+/// An owning per-thread handle to an `Arc<WfQueue<T>>`.
+pub struct OwnedLocalHandle<T: Send, const N: usize = DEFAULT_SEGMENT_SIZE> {
+    queue: Arc<WfQueue<T, N>>,
+    node: *mut HandleNode<N>,
+}
+
+// SAFETY: as for OwnedHandle; values are boxed and uniquely owned in
+// transit.
+unsafe impl<T: Send, const N: usize> Send for OwnedLocalHandle<T, N> {}
+
+impl<T: Send, const N: usize> OwnedLocalHandle<T, N> {
+    /// Registers a new owned handle on `queue`.
+    pub fn new(queue: Arc<WfQueue<T, N>>) -> Self {
+        let node = queue.raw().acquire_node();
+        Self { queue, node }
+    }
+
+    /// Enqueues `value` at the tail. Wait-free after the box allocation.
+    pub fn enqueue(&mut self, value: T) {
+        let ptr = Box::into_raw(Box::new(value));
+        // SAFETY: node live while the Arc'd queue lives; box pointers
+        // avoid both reserved bit patterns.
+        self.queue
+            .raw()
+            .enqueue_internal(unsafe { &*self.node }, ptr as u64);
+    }
+
+    /// Dequeues the oldest value, or `None` if observed empty. Wait-free.
+    pub fn dequeue(&mut self) -> Option<T> {
+        // SAFETY: node live as above.
+        self.queue
+            .raw()
+            .dequeue_internal(unsafe { &*self.node })
+            .map(|bits| {
+                // SAFETY: unique ownership — see LocalHandle::dequeue.
+                unsafe { *Box::from_raw(bits as *mut T) }
+            })
+    }
+
+    /// The queue this handle operates on.
+    pub fn queue(&self) -> &Arc<WfQueue<T, N>> {
+        &self.queue
+    }
+}
+
+impl<T: Send, const N: usize> Drop for OwnedLocalHandle<T, N> {
+    fn drop(&mut self) {
+        self.queue.raw().release_node(self.node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_raw_handle_moves_into_spawned_threads() {
+        let q: Arc<RawQueue<64>> = Arc::new(RawQueue::new());
+        let mut producer = OwnedHandle::new(Arc::clone(&q));
+        let mut consumer = OwnedHandle::new(Arc::clone(&q));
+        let p = std::thread::spawn(move || {
+            for v in 1..=1000 {
+                producer.enqueue(v);
+            }
+        });
+        let c = std::thread::spawn(move || {
+            let mut got = 0u64;
+            let mut sum = 0u64;
+            while got < 1000 {
+                if let Some(v) = consumer.dequeue() {
+                    sum += v;
+                    got += 1;
+                }
+            }
+            sum
+        });
+        p.join().unwrap();
+        assert_eq!(c.join().unwrap(), (1..=1000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn owned_typed_handle_roundtrip() {
+        let q: Arc<WfQueue<String>> = Arc::new(WfQueue::new());
+        let mut h = OwnedLocalHandle::new(Arc::clone(&q));
+        h.enqueue("x".to_string());
+        assert_eq!(h.dequeue().as_deref(), Some("x"));
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn queue_outlives_via_arc_even_after_local_drop() {
+        let mut h = {
+            let q: Arc<RawQueue<64>> = Arc::new(RawQueue::new());
+            OwnedHandle::new(q) // the only Arc moves in
+        };
+        h.enqueue(5);
+        assert_eq!(h.dequeue(), Some(5));
+    }
+
+    #[test]
+    fn owned_handles_recycle_nodes() {
+        let q: Arc<RawQueue<64>> = Arc::new(RawQueue::new());
+        let n1 = {
+            let h = OwnedHandle::new(Arc::clone(&q));
+            h.node
+        };
+        let h2 = OwnedHandle::new(Arc::clone(&q));
+        assert_eq!(h2.node, n1);
+    }
+}

@@ -1,0 +1,893 @@
+//! The wait-free queue over raw 64-bit values (paper Listings 1–4).
+//!
+//! This module is a line-by-line transcription of the paper's pseudocode;
+//! comments cite the listing line numbers. The shared state is exactly the
+//! paper's triple `(Q, H, T)` plus the reclamation word `I` (Listing 5);
+//! everything else lives in per-thread [`HandleNode`]s.
+//!
+//! Memory-ordering note: every cross-thread protocol step (FAA, CAS, the
+//! Dijkstra-protocol read pairs, the `T`/`H` emptiness reads) uses `SeqCst`,
+//! which on x86_64 lowers to exactly the `lock`-prefixed instructions and
+//! plain loads the paper's C implementation uses; pointer publication uses
+//! acquire/release. The only fence beyond the paper's is the one after
+//! hazard publication (see [`crate::handle`]), which the portable memory
+//! model requires and x86 gets almost for free.
+
+use core::sync::atomic::{fence, AtomicI64, AtomicPtr, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use wfq_sync::CachePadded;
+
+use crate::cell::{
+    is_valid_value, Cell, DEQ_BOTTOM, ENQ_BOTTOM, ENQ_TOP, VAL_BOTTOM, VAL_TOP,
+};
+use crate::config::Config;
+use crate::handle::{HandleNode, Registry};
+use crate::pack::ReqState;
+use crate::request::DeqReq;
+use crate::segment::{find_cell, Segment};
+use crate::stats::{HandleStats, QueueStats};
+use crate::DEFAULT_SEGMENT_SIZE;
+
+/// Result of `help_enq` (paper Listing 3, lines 90–127): the cell either
+/// yields a value, is permanently unusable (⊤), or witnesses emptiness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum HelpEnq {
+    /// The cell holds (or received) this enqueued value.
+    Value(u64),
+    /// No enqueue will ever fill this cell.
+    Top,
+    /// The queue was observed empty at this cell (`T <= i`).
+    Empty,
+}
+
+/// Result of one fast-path dequeue attempt. Every variant carries the cell
+/// index visited, which the caller needs for the slow-path request id (on
+/// failure) and the hazard-mirror update (always).
+enum FastDeq {
+    Value(u64, u64),
+    Empty(u64),
+    Fail(u64),
+}
+
+/// The paper's wait-free FIFO queue over raw `u64` values.
+///
+/// `N` is the segment size (cells per segment); the paper evaluates with
+/// `N = 2^10`, the default. Values must satisfy `v != 0 && v != u64::MAX`
+/// (the reserved ⊥/⊤ patterns); [`crate::WfQueue`] provides a typed wrapper
+/// free of this restriction.
+///
+/// All operations go through a registered [`Handle`]:
+///
+/// ```
+/// use wfqueue::RawQueue;
+/// let q: RawQueue = RawQueue::new();
+/// let mut h = q.register();
+/// h.enqueue(7);
+/// assert_eq!(h.dequeue(), Some(7));
+/// assert_eq!(h.dequeue(), None); // EMPTY
+/// ```
+pub struct RawQueue<const N: usize = DEFAULT_SEGMENT_SIZE> {
+    /// `Q`: the oldest live segment (Listing 2 line 21, Listing 5).
+    pub(crate) q: CachePadded<AtomicPtr<Segment<N>>>,
+    /// `T`: tail index; enqueues FAA this.
+    pub(crate) tail_index: CachePadded<AtomicU64>,
+    /// `H`: head index; dequeues FAA this.
+    pub(crate) head_index: CachePadded<AtomicU64>,
+    /// `I`: id of the oldest segment, or −1 while a cleaner (or a
+    /// registration) holds the reclamation token (Listing 5 line 206).
+    pub(crate) oldest_id: CachePadded<AtomicI64>,
+    /// Registration bookkeeping (ring anchor, free pool, master node list).
+    pub(crate) registry: Mutex<Registry<N>>,
+    /// Number of nodes ever registered (readable without the lock; feeds
+    /// the automatic MAX_GARBAGE threshold).
+    pub(crate) handle_count: AtomicU64,
+    pub(crate) config: Config,
+}
+
+// SAFETY: the queue owns its segments and handle nodes; all shared access
+// is via atomics following the paper's protocol. Values are plain u64s.
+unsafe impl<const N: usize> Send for RawQueue<N> {}
+unsafe impl<const N: usize> Sync for RawQueue<N> {}
+
+/// A registered per-thread handle to a [`RawQueue`].
+///
+/// A handle must be used by one thread at a time (the type is `Send` but
+/// not `Sync`, and its methods take `&mut self`, which enforces exactly
+/// that). Dropping a handle parks its slot for reuse by later
+/// registrations.
+pub struct Handle<'q, const N: usize = DEFAULT_SEGMENT_SIZE> {
+    queue: &'q RawQueue<N>,
+    node: *mut HandleNode<N>,
+}
+
+// SAFETY: a Handle is an exclusive capability on its node; moving it across
+// threads is fine, concurrent use is prevented by &mut receivers.
+unsafe impl<const N: usize> Send for Handle<'_, N> {}
+
+impl<const N: usize> Default for RawQueue<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const N: usize> RawQueue<N> {
+    /// Creates an empty queue with the default (WF-10) configuration.
+    pub fn new() -> Self {
+        Self::with_config(Config::default())
+    }
+
+    /// Creates an empty queue with an explicit configuration.
+    pub fn with_config(config: Config) -> Self {
+        assert!(N.is_power_of_two(), "segment size must be a power of two");
+        let seg = Segment::<N>::alloc(0);
+        Self {
+            q: CachePadded::new(AtomicPtr::new(seg)),
+            tail_index: CachePadded::new(AtomicU64::new(0)),
+            head_index: CachePadded::new(AtomicU64::new(0)),
+            oldest_id: CachePadded::new(AtomicI64::new(0)),
+            registry: Mutex::new(Registry::new()),
+            handle_count: AtomicU64::new(0),
+            config,
+        }
+    }
+
+    /// This queue's configuration.
+    pub fn config(&self) -> Config {
+        self.config
+    }
+
+    /// Registers the calling context, returning a handle.
+    ///
+    /// Registration is the one non-wait-free operation in the crate (it
+    /// takes a lock and may wait for an in-flight reclamation pass); do it
+    /// once per thread, outside any latency-critical section. Handles are
+    /// recycled, so repeated register/drop cycles do not grow the ring.
+    pub fn register(&self) -> Handle<'_, N> {
+        Handle {
+            queue: self,
+            node: self.acquire_node(),
+        }
+    }
+
+    /// Acquires a ring node for a new handle (pool reuse or fresh splice).
+    pub(crate) fn acquire_node(&self) -> *mut HandleNode<N> {
+        let mut reg = self.registry.lock().unwrap();
+        if let Some(node) = reg.free.pop() {
+            // SAFETY: pooled nodes stay valid for the queue's lifetime.
+            unsafe { (*node).active.store(true, Ordering::Relaxed) };
+            return node;
+        }
+        // Fresh node: its initial segment assignment and ring splice must
+        // not race a reclamation pass (which cannot see the node yet), so
+        // hold the reclamation token across both.
+        let token = self.acquire_reclaim_token();
+        let seg = self.q.load(Ordering::Acquire);
+        // SAFETY: holding the token, no segment can be freed.
+        let seg_id = unsafe { (*seg).id() };
+        let node = HandleNode::boxed(seg, seg_id);
+        reg.splice(node);
+        self.handle_count.fetch_add(1, Ordering::Relaxed);
+        self.release_reclaim_token(token);
+        node
+    }
+
+    /// Returns a handle's ring node to the pool.
+    pub(crate) fn release_node(&self, node: *mut HandleNode<N>) {
+        let mut reg = self.registry.lock().unwrap();
+        // SAFETY: node is live; after deactivation helpers skip its idle
+        // requests and a future registration may adopt it.
+        unsafe { (*node).active.store(false, Ordering::Relaxed) };
+        reg.free.push(node);
+    }
+
+    /// Spins until it wins the reclamation token (`I: i ≥ 0 → −1`),
+    /// returning the id it displaced.
+    fn acquire_reclaim_token(&self) -> i64 {
+        loop {
+            let i = self.oldest_id.load(Ordering::Acquire);
+            if i >= 0
+                && self
+                    .oldest_id
+                    .compare_exchange(i, -1, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                return i;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    fn release_reclaim_token(&self, token: i64) {
+        self.oldest_id.store(token, Ordering::Release);
+    }
+
+    /// Advisory emptiness check: true if no unconsumed value was present at
+    /// the instants the indices were read. Exact only while the queue is
+    /// externally quiescent (e.g. single-threaded teardown).
+    pub fn is_empty(&self) -> bool {
+        self.head_index.load(Ordering::SeqCst) >= self.tail_index.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot of `(H, T)` for diagnostics.
+    pub fn indices(&self) -> (u64, u64) {
+        (
+            self.head_index.load(Ordering::SeqCst),
+            self.tail_index.load(Ordering::SeqCst),
+        )
+    }
+
+    /// Approximate number of enqueued-but-unconsumed values.
+    ///
+    /// `T − H` counts *attempts*, not successes — failed fast-path
+    /// operations and emptiness probes inflate both counters — so this is
+    /// an upper-bound-ish hint suitable for monitoring and backpressure
+    /// heuristics, not an exact size (no linearizable size exists for a
+    /// concurrent queue without locking it).
+    pub fn len_hint(&self) -> u64 {
+        let (h, t) = self.indices();
+        t.saturating_sub(h)
+    }
+
+    /// Aggregated execution-path statistics across every handle ever
+    /// registered (the data behind the paper's Table 2).
+    pub fn stats(&self) -> QueueStats {
+        let reg = self.registry.lock().unwrap();
+        let mut s = QueueStats::default();
+        for &n in &reg.all {
+            // SAFETY: nodes live until queue drop.
+            s.absorb(unsafe { &(*n).stats });
+        }
+        s
+    }
+
+    // ------------------------------------------------------------------
+    // Enqueue (Listing 3)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn enqueue_internal(&self, h: &HandleNode<N>, v: u64) {
+        assert!(
+            is_valid_value(v),
+            "RawQueue values must not be 0 or u64::MAX (reserved ⊥/⊤); got {v:#x}"
+        );
+        h.publish_hazard(h.tail_seg_id.load(Ordering::Relaxed) as i64);
+
+        // Lines 57–59: fast path up to PATIENCE extra times, then slow path.
+        let mut cell_id = 0;
+        let mut done = false;
+        for _ in 0..=self.config.patience {
+            if self.enq_fast(h, v, &mut cell_id) {
+                done = true;
+                break;
+            }
+        }
+        let last_index = if done {
+            HandleStats::bump(&h.stats.enq_fast);
+            cell_id
+        } else {
+            let claimed = self.enq_slow(h, v, cell_id);
+            HandleStats::bump(&h.stats.enq_slow);
+            claimed
+        };
+
+        // Epilogue (Listing 5 lines 208–211): refresh the hazard mirror and
+        // go idle. The mirror is computed from the cell *index*, never by
+        // dereferencing the segment pointer: after help-related hazard
+        // overwrites a deref here would not be protected, and the mirror
+        // only needs to be ≤ the true segment id (it is exactly equal:
+        // h.tail ends the operation at segment last_index / N).
+        h.tail_seg_id.store(last_index / N as u64, Ordering::Relaxed);
+        h.clear_hazard();
+    }
+
+    /// Lines 65–69: one FAA, one CAS. `cell_id` receives the attempted
+    /// index whether or not the deposit succeeds (the caller needs it for
+    /// the slow-path request id on failure and the mirror update on
+    /// success).
+    fn enq_fast(&self, h: &HandleNode<N>, v: u64, cell_id: &mut u64) -> bool {
+        let i = self.tail_index.fetch_add(1, Ordering::SeqCst);
+        *cell_id = i;
+        // SAFETY: h.tail is ≥ the hazard this thread published and ≤ i/N
+        // (it only ever advances through cells this thread obtained by FAA).
+        let c = unsafe { &*find_cell(&h.tail, i, &h.spare, &h.stats.segs_alloc) };
+        c.try_deposit(v)
+    }
+
+    /// Lines 70–89: publish a request, keep trying cells, commit wherever
+    /// the request ends up claimed.
+    #[cold]
+    fn enq_slow(&self, h: &HandleNode<N>, v: u64, cell_id: u64) -> u64 {
+        let r = &h.enq_req;
+        r.publish(v, cell_id); // line 72
+
+        // Line 75: traverse with a local tail pointer because the commit
+        // below may need to revisit an *earlier* cell.
+        let tmp_tail = AtomicPtr::new(h.tail.load(Ordering::Acquire));
+        loop {
+            // Line 78.
+            let i = self.tail_index.fetch_add(1, Ordering::SeqCst);
+            // SAFETY: tmp_tail starts at h.tail (hazard-protected) and only
+            // advances toward cells obtained by FAA.
+            let c = unsafe { &*find_cell(&tmp_tail, i, &h.spare, &h.stats.segs_alloc) };
+            // Lines 80–84, Dijkstra's protocol: reserve first, then check
+            // that no dequeuer poisoned the cell before the reservation.
+            if c.try_reserve_enq(r as *const _ as *mut _) && c.load_val() == VAL_BOTTOM {
+                r.try_claim(cell_id, i);
+                // Invariant: request claimed (even if our claim CAS lost).
+                break;
+            }
+            // Line 85.
+            if !r.state().pending {
+                break;
+            }
+        }
+
+        // Lines 87–88: request is claimed for some cell; find it and commit.
+        let id = r.state().index;
+        // SAFETY: id ≥ cell_id ≥ (*h.tail).id * N, all hazard-protected.
+        let c = unsafe { &*find_cell(&h.tail, id, &h.spare, &h.stats.segs_alloc) };
+        self.enq_commit(c, v, id);
+        id
+    }
+
+    /// Lines 62–64: make the enqueue visible no later than `T > cid`.
+    fn enq_commit(&self, c: &Cell, v: u64, cid: u64) {
+        advance_index(&self.tail_index, cid + 1);
+        c.val.store(v, Ordering::SeqCst);
+    }
+
+    // ------------------------------------------------------------------
+    // help_enq (Listing 3 lines 90–127) — called by dequeuers on every
+    // cell they try to take a value from.
+    // ------------------------------------------------------------------
+
+    pub(crate) fn help_enq(&self, h: &HandleNode<N>, c: &Cell, i: u64) -> HelpEnq {
+        // Line 91: poison-or-read.
+        if let Some(v) = c.mark_or_value() {
+            return HelpEnq::Value(v);
+        }
+        // c.val is ⊤: try to route a pending slow-path enqueue here.
+        if c.load_enq() == ENQ_BOTTOM {
+            // Lines 94–100: settle on a peer whose request we may help.
+            // Runs at most two iterations (the first pass zeroes enq_help_id).
+            let (mut peer, mut state);
+            loop {
+                peer = h.enq_peer.load(Ordering::Relaxed);
+                // SAFETY: ring nodes live for the queue's lifetime.
+                state = unsafe { (*peer).enq_req.state() };
+                let help_id = h.enq_help_id.load(Ordering::Relaxed);
+                if help_id == 0 || help_id == state.index {
+                    break; // still (or newly) helping this peer's request
+                }
+                // Peer's prior request completed: move to the next peer.
+                h.enq_help_id.store(0, Ordering::Relaxed);
+                // SAFETY: as above.
+                h.enq_peer
+                    .store(unsafe { (*peer).next_node() }, Ordering::Relaxed);
+            }
+            // Lines 101–108.
+            // SAFETY: as above; the request lives inside the peer node.
+            let r = unsafe { &(*peer).enq_req } as *const _ as *mut _;
+            if state.pending && state.index <= i && !c.try_reserve_enq(r) {
+                // Reservation failed: remember the request so we keep
+                // helping this peer next time (Invariant 2).
+                h.enq_help_id.store(state.index, Ordering::Relaxed);
+            } else {
+                if state.pending && state.index <= i {
+                    HandleStats::bump(&h.stats.help_enq);
+                }
+                // Peer doesn't need help, can't use this cell, or we just
+                // helped: advance round-robin (Invariant 3).
+                // SAFETY: as above.
+                h.enq_peer
+                    .store(unsafe { (*peer).next_node() }, Ordering::Relaxed);
+            }
+            // Lines 109–111: seal the cell if no request landed.
+            if c.load_enq() == ENQ_BOTTOM {
+                c.try_seal_enq();
+            }
+        }
+        // Invariant: c.enq is a request or ⊤e.
+        let e = c.load_enq();
+        if e == ENQ_TOP {
+            // Lines 114–116.
+            return if self.tail_index.load(Ordering::SeqCst) <= i {
+                HelpEnq::Empty
+            } else {
+                HelpEnq::Top
+            };
+        }
+        // Lines 117–126: the cell names a request; complete it if we can.
+        // SAFETY: request pointers reference ring nodes, live for the
+        // queue's lifetime; staleness is handled by the id checks below
+        // (paper §3.4 "Write the proper value in a cell").
+        let r = unsafe { &*e };
+        let (s, v) = r.read_consistent();
+        if s.index > i {
+            // Line 119–122: request unsuitable for this cell.
+            if c.load_val() == VAL_TOP && self.tail_index.load(Ordering::SeqCst) <= i {
+                return HelpEnq::Empty;
+            }
+        } else if r.try_claim(s.index, i)
+            || (s == ReqState { pending: false, index: i } && c.load_val() == VAL_TOP)
+        {
+            // Line 123–126: we claimed it for this cell, or someone else
+            // claimed it for this cell and hasn't committed yet.
+            self.enq_commit(c, v, i);
+        }
+        // Line 127.
+        match c.load_val() {
+            VAL_TOP => HelpEnq::Top,
+            v => HelpEnq::Value(v),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dequeue (Listing 4)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn dequeue_internal(&self, h: &HandleNode<N>) -> Option<u64> {
+        h.publish_hazard(h.head_seg_id.load(Ordering::Relaxed) as i64);
+
+        // Lines 129–133.
+        let mut cell_id = 0;
+        let mut last_index = 0;
+        let mut outcome: Option<Option<u64>> = None; // Some(Some) val, Some(None) empty
+        for _ in 0..=self.config.patience {
+            match self.deq_fast(h) {
+                FastDeq::Value(v, i) => {
+                    last_index = i;
+                    outcome = Some(Some(v));
+                    break;
+                }
+                FastDeq::Empty(i) => {
+                    last_index = i;
+                    outcome = Some(None);
+                    break;
+                }
+                FastDeq::Fail(i) => {
+                    cell_id = i;
+                    last_index = i;
+                }
+            }
+        }
+        let result = match outcome {
+            Some(r) => {
+                HandleStats::bump(&h.stats.deq_fast);
+                r
+            }
+            None => {
+                let (r, i) = self.deq_slow(h, cell_id);
+                last_index = i;
+                HandleStats::bump(&h.stats.deq_slow);
+                r
+            }
+        };
+        if result.is_none() {
+            HandleStats::bump(&h.stats.deq_empty);
+        }
+
+        // Lines 135–138: a successful dequeue helps its dequeue peer.
+        // NOTE: help_deq may overwrite this thread's hazard with the
+        // helpee's; everything after this point must not dereference
+        // segments (which is why the mirror below is computed from the
+        // cell index rather than through h.head).
+        if result.is_some() {
+            let peer = h.deq_peer.load(Ordering::Relaxed);
+            // SAFETY: ring nodes live for the queue's lifetime.
+            let peer_ref = unsafe { &*peer };
+            if !core::ptr::eq(peer_ref, h) {
+                HandleStats::bump(&h.stats.help_deq);
+            }
+            self.help_deq(h, peer_ref);
+            h.deq_peer.store(peer_ref.next_node(), Ordering::Relaxed);
+        }
+
+        // Epilogue (Listing 5 lines 212–217). h.head finished this
+        // operation at segment last_index / N.
+        h.head_seg_id.store(last_index / N as u64, Ordering::Relaxed);
+        h.clear_hazard();
+        self.cleanup(h);
+        result
+    }
+
+    /// Lines 140–148.
+    fn deq_fast(&self, h: &HandleNode<N>) -> FastDeq {
+        let i = self.head_index.fetch_add(1, Ordering::SeqCst);
+        // SAFETY: h.head hazard-protected, ≤ i/N.
+        let c = unsafe { &*find_cell(&h.head, i, &h.spare, &h.stats.segs_alloc) };
+        match self.help_enq(h, c, i) {
+            HelpEnq::Empty => FastDeq::Empty(i),
+            HelpEnq::Value(v) if c.try_claim_deq_fast() => FastDeq::Value(v, i),
+            _ => FastDeq::Fail(i),
+        }
+    }
+
+    /// Lines 149–157.
+    #[cold]
+    fn deq_slow(&self, h: &HandleNode<N>, cid: u64) -> (Option<u64>, u64) {
+        let r = &h.deq_req;
+        r.publish(cid); // line 151
+        self.help_deq(h, h); // line 152
+        // Lines 153–156: the request's announced cell holds the result.
+        let i = r.state().index;
+        // SAFETY: i ≥ cid ≥ (*h.head).id * N; hazard-protected.
+        let c = unsafe { &*find_cell(&h.head, i, &h.spare, &h.stats.segs_alloc) };
+        let v = c.load_val();
+        advance_index(&self.head_index, i + 1);
+        (if v == VAL_TOP { None } else { Some(v) }, i)
+    }
+
+    // ------------------------------------------------------------------
+    // help_deq (Listing 4 lines 158–205 + Listing 5 line 220)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn help_deq(&self, h: &HandleNode<N>, helpee: &HandleNode<N>) {
+        let r = &helpee.deq_req;
+        // Line 160: state before id (writers publish id before state).
+        let mut s = r.state();
+        let id = r.id();
+        if !s.pending || s.index < id {
+            return; // line 162
+        }
+        // Line 164: local pointer for announced cells.
+        let ha = AtomicPtr::new(helpee.head.load(Ordering::Acquire));
+        // Listing 5 line 220: adopt the helpee's published hazard — an id,
+        // never a pointer, so nothing is dereferenced here. If the helpee
+        // already finished (hazard cleared), the state re-read below bails
+        // out before any segment is touched.
+        h.hzd_id
+            .store(helpee.hzd_id.load(Ordering::SeqCst), Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        s = r.state(); // line 165: must re-read after hazard adoption
+
+        let mut prior = id; // line 166
+        let mut i = id;
+        let mut cand = 0u64;
+        let r_ptr = r as *const DeqReq as *mut DeqReq;
+        loop {
+            // Lines 172–180: find a candidate cell with a fresh local
+            // segment pointer hc (announced cells may be *behind* hc's
+            // progress, which is why ha must not advance here).
+            let hc = AtomicPtr::new(ha.load(Ordering::Relaxed));
+            // Deviation from the pseudocode (matching the released C code):
+            // also stop when the request is no longer pending, rather than
+            // scanning on until a candidate turns up.
+            while cand == 0 && s.pending && s.index == prior {
+                i += 1;
+                // SAFETY: hc starts at a hazard-protected segment ≤ i/N.
+                let c = unsafe { &*find_cell(&hc, i, &h.spare, &h.stats.segs_alloc) };
+                match self.help_enq(h, c, i) {
+                    HelpEnq::Empty => cand = i, // line 177
+                    HelpEnq::Value(_) if c.load_deq() == DEQ_BOTTOM => cand = i,
+                    _ => s = r.state(), // line 179
+                }
+            }
+            if cand != 0 {
+                // Lines 181–185: try to announce our candidate. The
+                // candidate is consumed by the attempt whether or not the
+                // CAS wins — the paper's pseudocode keeps it when
+                // `s.idx < i` (line 204), which livelocks once the kept
+                // candidate is itself the announced-and-stolen cell; the
+                // authors' released C code resets it here (`new = 0`), and
+                // so do we (erratum documented in DESIGN.md).
+                r.cas_state((true, prior), (true, cand));
+                s = r.state();
+                cand = 0;
+            }
+            // Line 188: request complete or superseded.
+            if !s.pending || r.id() != id {
+                return;
+            }
+            // Line 190: locate the announced candidate.
+            // SAFETY: announced indices increase monotonically from id
+            // (Invariant 7), so ha.id ≤ s.index/N; hazard-protected.
+            let c = unsafe { &*find_cell(&ha, s.index, &h.spare, &h.stats.segs_alloc) };
+            // Lines 191–199: the candidate satisfies the request if it
+            // witnesses EMPTY (val = ⊤) or its value is claimed for r.
+            if c.load_val() == VAL_TOP
+                || c.try_claim_deq_slow(r_ptr)
+                || c.load_deq() == r_ptr
+            {
+                r.cas_state((true, s.index), (false, s.index)); // line 196
+                return;
+            }
+            // Lines 200–204: prepare the next round.
+            prior = s.index;
+            if s.index >= i {
+                cand = 0;
+                i = s.index;
+            }
+        }
+    }
+}
+
+/// The paper's `advance_end_for_linearizability` (lines 53–55): CAS-max.
+fn advance_index(e: &AtomicU64, cid: u64) {
+    let mut cur = e.load(Ordering::SeqCst);
+    while cur < cid {
+        match e.compare_exchange_weak(cur, cid, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => break,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+impl<const N: usize> Drop for RawQueue<N> {
+    fn drop(&mut self) {
+        let reg = self.registry.get_mut().unwrap();
+        debug_assert!(
+            reg.all
+                .iter()
+                // SAFETY: nodes are still live here.
+                .all(|&n| unsafe { !(*n).active.load(Ordering::Relaxed) }),
+            "RawQueue dropped while handles are still live"
+        );
+        for &n in &reg.all {
+            // SAFETY: exclusive access (&mut self); spares are unpublished
+            // segments owned by the node; nodes were Box-allocated.
+            unsafe {
+                let spare = (*n).spare.load(Ordering::Relaxed);
+                if !spare.is_null() {
+                    Segment::dealloc(spare);
+                }
+                drop(Box::from_raw(n));
+            }
+        }
+        // SAFETY: exclusive access; free the whole remaining segment chain.
+        let mut s = self.q.load(Ordering::Relaxed);
+        while !s.is_null() {
+            let next = unsafe { (*s).next.load(Ordering::Relaxed) };
+            unsafe { Segment::dealloc(s) };
+            s = next;
+        }
+    }
+}
+
+impl<const N: usize> Handle<'_, N> {
+    #[inline]
+    fn node(&self) -> &HandleNode<N> {
+        // SAFETY: the node outlives the handle (freed only on queue drop,
+        // which the 'q borrow prevents while this handle exists).
+        unsafe { &*self.node }
+    }
+
+    /// Enqueues `v`. Wait-free. Panics if `v` is a reserved pattern
+    /// (`0` or `u64::MAX`).
+    #[inline]
+    pub fn enqueue(&mut self, v: u64) {
+        self.queue.enqueue_internal(self.node(), v);
+    }
+
+    /// Dequeues the oldest value, or returns `None` if the queue was
+    /// observed empty (the paper's EMPTY). Wait-free.
+    #[inline]
+    pub fn dequeue(&mut self) -> Option<u64> {
+        self.queue.dequeue_internal(self.node())
+    }
+
+    /// The queue this handle is registered with.
+    pub fn queue(&self) -> &RawQueue<N> {
+        self.queue
+    }
+}
+
+impl<const N: usize> Drop for Handle<'_, N> {
+    fn drop(&mut self) {
+        self.queue.release_node(self.node);
+    }
+}
+
+impl<const N: usize> core::fmt::Debug for RawQueue<N> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let (h, t) = self.indices();
+        f.debug_struct("RawQueue")
+            .field("segment_size", &N)
+            .field("head_index", &h)
+            .field("tail_index", &t)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_on_a_single_thread() {
+        let q: RawQueue<64> = RawQueue::new();
+        let mut h = q.register();
+        for v in 1..=100 {
+            h.enqueue(v);
+        }
+        for v in 1..=100 {
+            assert_eq!(h.dequeue(), Some(v));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn empty_queue_returns_none_repeatedly() {
+        let q: RawQueue<64> = RawQueue::new();
+        let mut h = q.register();
+        for _ in 0..10 {
+            assert_eq!(h.dequeue(), None);
+        }
+        // Emptiness probes consume cells but must not corrupt later ops.
+        h.enqueue(5);
+        assert_eq!(h.dequeue(), Some(5));
+    }
+
+    #[test]
+    fn interleaved_enq_deq_single_thread() {
+        let q: RawQueue<64> = RawQueue::new();
+        let mut h = q.register();
+        h.enqueue(1);
+        h.enqueue(2);
+        assert_eq!(h.dequeue(), Some(1));
+        h.enqueue(3);
+        assert_eq!(h.dequeue(), Some(2));
+        assert_eq!(h.dequeue(), Some(3));
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn crosses_segment_boundaries() {
+        let q: RawQueue<8> = RawQueue::new();
+        let mut h = q.register();
+        for v in 1..=1000u64 {
+            h.enqueue(v);
+        }
+        for v in 1..=1000u64 {
+            assert_eq!(h.dequeue(), Some(v));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn wf0_forces_the_slow_path_under_contention() {
+        // With patience 0 and concurrent dequeuers poisoning cells, some
+        // enqueues must complete via enq_slow — and remain correct.
+        let q: RawQueue<16> = RawQueue::with_config(Config::wf0());
+        let total = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..2 {
+                let q = &q;
+                s.spawn(move || {
+                    let mut h = q.register();
+                    for v in 0..2000u64 {
+                        h.enqueue(t * 10_000 + v + 1);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let q = &q;
+                let total = &total;
+                s.spawn(move || {
+                    let mut h = q.register();
+                    let mut got = 0;
+                    while got < 2000 {
+                        if h.dequeue().is_some() {
+                            got += 1;
+                        }
+                    }
+                    total.fetch_add(got, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4000);
+    }
+
+    #[test]
+    fn values_are_conserved_across_threads() {
+        let q: RawQueue<256> = RawQueue::new();
+        const PER: u64 = 5_000;
+        const PRODUCERS: u64 = 4;
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..PRODUCERS {
+                let q = &q;
+                s.spawn(move || {
+                    let mut h = q.register();
+                    for v in 0..PER {
+                        h.enqueue(t * PER + v + 1);
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let q = &q;
+                let sum = &sum;
+                s.spawn(move || {
+                    let mut h = q.register();
+                    let mut local = 0u64;
+                    let mut got = 0u64;
+                    while got < PER {
+                        if let Some(v) = h.dequeue() {
+                            local += v;
+                            got += 1;
+                        }
+                    }
+                    sum.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+        });
+        let expect: u64 = (1..=PRODUCERS * PER).sum();
+        assert_eq!(sum.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn reserved_value_zero_panics() {
+        let q: RawQueue<64> = RawQueue::new();
+        let mut h = q.register();
+        h.enqueue(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn reserved_value_max_panics() {
+        let q: RawQueue<64> = RawQueue::new();
+        let mut h = q.register();
+        h.enqueue(u64::MAX);
+    }
+
+    #[test]
+    fn handles_recycle_through_the_pool() {
+        let q: RawQueue<64> = RawQueue::new();
+        let n1;
+        {
+            let h = q.register();
+            n1 = h.node;
+        }
+        let h2 = q.register();
+        assert_eq!(h2.node, n1, "dropped handle's node must be reused");
+        assert_eq!(q.handle_count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn stats_count_fast_paths_when_uncontended() {
+        let q: RawQueue<64> = RawQueue::new();
+        let mut h = q.register();
+        for v in 1..=50 {
+            h.enqueue(v);
+        }
+        for _ in 0..50 {
+            h.dequeue();
+        }
+        let s = q.stats();
+        assert_eq!(s.enqueues(), 50);
+        assert_eq!(s.dequeues(), 50);
+        assert_eq!(s.enq_slow, 0, "no contention, no slow path");
+        assert_eq!(s.deq_slow, 0);
+        assert_eq!(s.deq_empty, 0);
+    }
+
+    #[test]
+    fn stats_count_empty_dequeues() {
+        let q: RawQueue<64> = RawQueue::new();
+        let mut h = q.register();
+        h.dequeue();
+        h.dequeue();
+        assert_eq!(q.stats().deq_empty, 2);
+    }
+
+    #[test]
+    fn advance_index_is_a_cas_max() {
+        let a = AtomicU64::new(5);
+        advance_index(&a, 3);
+        assert_eq!(a.load(Ordering::Relaxed), 5);
+        advance_index(&a, 9);
+        assert_eq!(a.load(Ordering::Relaxed), 9);
+        advance_index(&a, 9);
+        assert_eq!(a.load(Ordering::Relaxed), 9);
+    }
+
+    #[test]
+    fn debug_formatting_mentions_indices() {
+        let q: RawQueue<64> = RawQueue::new();
+        let s = format!("{q:?}");
+        assert!(s.contains("head_index"));
+        assert!(s.contains("tail_index"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Execution-path statistics.
+//!
+//! The paper's Table 2 breaks operations down by the path that completed
+//! them (fast vs. slow, and dequeues that returned EMPTY). Each handle
+//! maintains relaxed per-owner counters; [`QueueStats`] is the aggregate
+//! snapshot over every handle ever registered. The counters are plain
+//! relaxed increments on memory the owning thread already has exclusive
+//! cache access to, so they do not perturb the contention behaviour being
+//! measured.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-handle relaxed counters (owner-written, snapshot-read).
+#[derive(Debug, Default)]
+pub(crate) struct HandleStats {
+    pub enq_fast: AtomicU64,
+    pub enq_slow: AtomicU64,
+    pub deq_fast: AtomicU64,
+    pub deq_slow: AtomicU64,
+    pub deq_empty: AtomicU64,
+    pub help_enq: AtomicU64,
+    pub help_deq: AtomicU64,
+    pub cleanups: AtomicU64,
+    pub segs_alloc: AtomicU64,
+    pub segs_freed: AtomicU64,
+}
+
+impl HandleStats {
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Aggregated queue statistics — the data behind the paper's Table 2.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Enqueues completed on the fast path.
+    pub enq_fast: u64,
+    /// Enqueues that fell back to the wait-free slow path.
+    pub enq_slow: u64,
+    /// Dequeues completed on the fast path (value or EMPTY on first tries).
+    pub deq_fast: u64,
+    /// Dequeues that fell back to the wait-free slow path.
+    pub deq_slow: u64,
+    /// Dequeues that returned EMPTY.
+    pub deq_empty: u64,
+    /// Calls that helped a peer's enqueue request toward completion.
+    pub help_enq: u64,
+    /// Calls that helped a peer's dequeue request toward completion.
+    pub help_deq: u64,
+    /// Reclamation passes executed (elected cleaner only).
+    pub cleanups: u64,
+    /// Segments allocated and successfully published.
+    pub segs_alloc: u64,
+    /// Segments reclaimed by cleanup.
+    pub segs_freed: u64,
+}
+
+impl QueueStats {
+    pub(crate) fn absorb(&mut self, h: &HandleStats) {
+        self.enq_fast += h.enq_fast.load(Ordering::Relaxed);
+        self.enq_slow += h.enq_slow.load(Ordering::Relaxed);
+        self.deq_fast += h.deq_fast.load(Ordering::Relaxed);
+        self.deq_slow += h.deq_slow.load(Ordering::Relaxed);
+        self.deq_empty += h.deq_empty.load(Ordering::Relaxed);
+        self.help_enq += h.help_enq.load(Ordering::Relaxed);
+        self.help_deq += h.help_deq.load(Ordering::Relaxed);
+        self.cleanups += h.cleanups.load(Ordering::Relaxed);
+        self.segs_alloc += h.segs_alloc.load(Ordering::Relaxed);
+        self.segs_freed += h.segs_freed.load(Ordering::Relaxed);
+    }
+
+    /// Total completed enqueues.
+    pub fn enqueues(&self) -> u64 {
+        self.enq_fast + self.enq_slow
+    }
+
+    /// Total completed dequeues (including EMPTY returns).
+    pub fn dequeues(&self) -> u64 {
+        self.deq_fast + self.deq_slow
+    }
+
+    /// Percentage of enqueues that used the slow path (Table 2, row 1).
+    pub fn pct_slow_enq(&self) -> f64 {
+        pct(self.enq_slow, self.enqueues())
+    }
+
+    /// Percentage of dequeues that used the slow path (Table 2, row 2).
+    pub fn pct_slow_deq(&self) -> f64 {
+        pct(self.deq_slow, self.dequeues())
+    }
+
+    /// Percentage of dequeues that returned EMPTY (Table 2, row 3).
+    pub fn pct_empty_deq(&self) -> f64 {
+        pct(self.deq_empty, self.dequeues())
+    }
+
+    /// Segments currently un-reclaimed (allocated minus freed; the initial
+    /// segment is not counted as allocated).
+    pub fn live_segments(&self) -> i64 {
+        self.segs_alloc as i64 - self.segs_freed as i64
+    }
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let h = HandleStats::default();
+        h.enq_fast.store(10, Ordering::Relaxed);
+        h.enq_slow.store(2, Ordering::Relaxed);
+        h.deq_fast.store(8, Ordering::Relaxed);
+        h.deq_slow.store(4, Ordering::Relaxed);
+        h.deq_empty.store(1, Ordering::Relaxed);
+        let mut s = QueueStats::default();
+        s.absorb(&h);
+        s.absorb(&h);
+        assert_eq!(s.enqueues(), 24);
+        assert_eq!(s.dequeues(), 24);
+        assert_eq!(s.deq_empty, 2);
+    }
+
+    #[test]
+    fn percentages_match_table2_semantics() {
+        let s = QueueStats {
+            enq_fast: 98,
+            enq_slow: 2,
+            deq_fast: 75,
+            deq_slow: 25,
+            deq_empty: 10,
+            ..Default::default()
+        };
+        assert!((s.pct_slow_enq() - 2.0).abs() < 1e-9);
+        assert!((s.pct_slow_deq() - 25.0).abs() < 1e-9);
+        assert!((s.pct_empty_deq() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_report_zero_percentages() {
+        let s = QueueStats::default();
+        assert_eq!(s.pct_slow_enq(), 0.0);
+        assert_eq!(s.pct_slow_deq(), 0.0);
+        assert_eq!(s.pct_empty_deq(), 0.0);
+        assert_eq!(s.live_segments(), 0);
+    }
+}

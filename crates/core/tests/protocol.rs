@@ -1,0 +1,224 @@
+//! Protocol-level black-box tests of the wait-free queue's public API:
+//! properties that follow from the paper's invariants and must hold for
+//! any correct implementation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use wfqueue::{Config, OwnedHandle, RawQueue, WfQueue};
+
+/// Invariant 4/8 corollary: a value enqueued before a (later, same-thread)
+/// dequeue begins is never missed while earlier values remain.
+#[test]
+fn same_thread_enqueue_is_always_visible_to_later_dequeue() {
+    let q: RawQueue<64> = RawQueue::new();
+    let mut h = q.register();
+    for round in 1..=1_000u64 {
+        h.enqueue(round);
+        assert_eq!(h.dequeue(), Some(round));
+    }
+}
+
+/// The EMPTY result is not sticky: emptiness probes must never poison
+/// future traffic (probes consume cells, not values).
+#[test]
+fn empty_probes_do_not_affect_later_values() {
+    let q: RawQueue<8> = RawQueue::new();
+    let mut h = q.register();
+    for _ in 0..1_000 {
+        assert_eq!(h.dequeue(), None);
+    }
+    for v in 1..=100 {
+        h.enqueue(v);
+    }
+    for v in 1..=100 {
+        assert_eq!(h.dequeue(), Some(v));
+    }
+}
+
+/// Two queues never interfere, even with interleaved handles on one
+/// thread (separate rings, separate indices, separate reclamation).
+#[test]
+fn queues_are_independent() {
+    let a: RawQueue<64> = RawQueue::new();
+    let b: RawQueue<64> = RawQueue::new();
+    let mut ha = a.register();
+    let mut hb = b.register();
+    for v in 1..=100 {
+        ha.enqueue(v);
+        hb.enqueue(v + 1000);
+    }
+    for v in 1..=100 {
+        assert_eq!(hb.dequeue(), Some(v + 1000));
+        assert_eq!(ha.dequeue(), Some(v));
+    }
+}
+
+/// Stats bookkeeping: counted operations must equal the operations
+/// actually performed, across multiple handles.
+#[test]
+fn stats_account_for_every_operation() {
+    let q: RawQueue<64> = RawQueue::new();
+    let mut h1 = q.register();
+    let mut h2 = q.register();
+    for v in 1..=40 {
+        h1.enqueue(v);
+    }
+    for v in 41..=60 {
+        h2.enqueue(v);
+    }
+    let mut got = 0;
+    while h1.dequeue().is_some() {
+        got += 1;
+    }
+    while h2.dequeue().is_some() {
+        got += 1;
+    }
+    assert_eq!(got, 60);
+    let s = q.stats();
+    assert_eq!(s.enqueues(), 60);
+    // Dequeues include the two EMPTY probes that ended the while loops.
+    assert_eq!(s.dequeues(), 60 + 2);
+    assert_eq!(s.deq_empty, 2);
+}
+
+/// len_hint coherence: exact under quiescence without emptiness probes,
+/// an over-approximation otherwise.
+#[test]
+fn len_hint_brackets_reality() {
+    let q: RawQueue<64> = RawQueue::new();
+    let mut h = q.register();
+    assert_eq!(q.len_hint(), 0);
+    for v in 1..=50 {
+        h.enqueue(v);
+    }
+    assert_eq!(q.len_hint(), 50);
+    for _ in 0..20 {
+        h.dequeue();
+    }
+    assert_eq!(q.len_hint(), 30);
+    // Emptiness probes inflate H past T: hint saturates at 0.
+    for _ in 0..40 {
+        h.dequeue();
+    }
+    assert_eq!(q.len_hint(), 0);
+}
+
+/// Typed drain returns exactly the outstanding values in FIFO order.
+#[test]
+fn drain_returns_outstanding_values_in_order() {
+    let mut q: WfQueue<u32> = WfQueue::new();
+    {
+        let mut h = q.handle();
+        for v in 0..100 {
+            h.enqueue(v);
+        }
+        for _ in 0..30 {
+            h.dequeue();
+        }
+    }
+    let rest = q.drain();
+    assert_eq!(rest, (30..100).collect::<Vec<_>>());
+    assert!(q.is_empty());
+}
+
+/// Owned handles running free-threaded (no scope) with the queue kept
+/// alive purely by the handles.
+#[test]
+fn owned_handles_share_a_queue_across_detached_threads() {
+    let q: Arc<RawQueue<64>> = Arc::new(RawQueue::new());
+    let produced = Arc::new(AtomicU64::new(0));
+    let consumed = Arc::new(AtomicU64::new(0));
+    let mut joins = Vec::new();
+    for t in 0..2u64 {
+        let mut h = OwnedHandle::new(Arc::clone(&q));
+        let produced = Arc::clone(&produced);
+        joins.push(std::thread::spawn(move || {
+            for v in 0..5_000 {
+                h.enqueue(t * 5_000 + v + 1);
+                produced.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+    for _ in 0..2 {
+        let mut h = OwnedHandle::new(Arc::clone(&q));
+        let consumed = Arc::clone(&consumed);
+        joins.push(std::thread::spawn(move || {
+            while consumed.load(Ordering::Relaxed) < 10_000 {
+                if h.dequeue().is_some() {
+                    consumed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    assert_eq!(consumed.load(Ordering::Relaxed), 10_000);
+}
+
+/// Wait-freedom smoke: with every other handle parked mid-queue (dropped
+/// after partial traffic), a single thread still completes unbounded
+/// operations — nothing it does can block on absent peers.
+#[test]
+fn solo_progress_with_stale_peers() {
+    let q: RawQueue<16> = RawQueue::with_config(Config::wf0());
+    {
+        let mut a = q.register();
+        let mut b = q.register();
+        for v in 1..=100 {
+            a.enqueue(v);
+            b.enqueue(v + 1000);
+        }
+        // a and b drop with values still queued and requests idle.
+    }
+    let mut h = q.register();
+    let mut seen = 0;
+    while h.dequeue().is_some() {
+        seen += 1;
+    }
+    assert_eq!(seen, 200);
+    for v in 1..=10_000u64 {
+        h.enqueue(v);
+        assert_eq!(h.dequeue(), Some(v));
+    }
+}
+
+/// Segment-size genericity: the same protocol at several N values.
+#[test]
+fn works_across_segment_sizes() {
+    fn run<const N: usize>() {
+        let q: RawQueue<N> = RawQueue::new();
+        let mut h = q.register();
+        for v in 1..=(N as u64 * 3 + 7) {
+            h.enqueue(v);
+        }
+        for v in 1..=(N as u64 * 3 + 7) {
+            assert_eq!(h.dequeue(), Some(v));
+        }
+    }
+    run::<2>();
+    run::<8>();
+    run::<64>();
+    run::<1024>();
+    run::<4096>();
+}
+
+/// Config is observable and respected.
+#[test]
+fn config_roundtrip() {
+    let q: RawQueue<64> = RawQueue::with_config(Config::wf0().with_max_garbage(7));
+    assert_eq!(q.config().patience, 0);
+    assert_eq!(q.config().max_garbage, Some(7));
+}
+
+/// A queue dropped immediately after creation must not leak or crash.
+#[test]
+fn empty_queue_lifecycle() {
+    for _ in 0..100 {
+        let q: RawQueue<64> = RawQueue::new();
+        drop(q);
+        let q: WfQueue<Vec<u8>> = WfQueue::new();
+        drop(q);
+    }
+}

@@ -1,0 +1,109 @@
+//! The invocation/iteration measurement protocol (Georges et al., §5.1).
+
+use wfq_baselines::BenchQueue;
+use wfq_sync::delay::SpinDelay;
+
+use crate::stats;
+use crate::workload::{run_iteration, BenchConfig};
+
+/// Result of measuring one queue at one thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Mean of the invocation means, Mops/s.
+    pub mean: f64,
+    /// Half-width of the 95% confidence interval.
+    pub ci_half: f64,
+    /// Per-invocation steady-state means.
+    pub invocations: Vec<f64>,
+    /// Per-invocation COV of the chosen steady window (diagnostics).
+    pub windows_cov: Vec<f64>,
+}
+
+/// Runs one *invocation*: a fresh queue, up to `max_iterations` iterations,
+/// steady-state detection, and the mean over the steady window.
+///
+/// Returns `(steady_mean, window_cov)`.
+pub fn measure_invocation<Q: BenchQueue>(
+    cfg: &BenchConfig,
+    delay: &SpinDelay,
+    invocation: u64,
+) -> (f64, f64) {
+    let q = Q::new();
+    let mut iters: Vec<f64> = Vec::with_capacity(cfg.max_iterations);
+    for i in 0..cfg.max_iterations {
+        let round = invocation * 1_000 + i as u64;
+        iters.push(run_iteration(&q, cfg, delay, round));
+        // Early exit as soon as a steady window exists below threshold
+        // (the paper's "determine the iteration s_i in which steady-state
+        // performance is reached").
+        if iters.len() >= cfg.window {
+            let tail = &iters[iters.len() - cfg.window..];
+            if stats::cov(tail) < cfg.cov_threshold {
+                return (stats::mean(tail), stats::cov(tail));
+            }
+        }
+    }
+    // Never settled: lowest-COV window of the full run (paper fallback).
+    let (start, c) = stats::steady_state_window(&iters, cfg.window.min(iters.len()), cfg.cov_threshold)
+        .expect("at least one window exists");
+    let w = &iters[start..start + cfg.window.min(iters.len())];
+    (stats::mean(w), c)
+}
+
+/// Full protocol: `cfg.invocations` invocations, each reduced to its
+/// steady-state mean; returns the grand mean with a 95% CI.
+pub fn measure_queue<Q: BenchQueue>(cfg: &BenchConfig) -> Measurement {
+    let delay = SpinDelay::calibrate();
+    let mut means = Vec::with_capacity(cfg.invocations);
+    let mut covs = Vec::with_capacity(cfg.invocations);
+    for inv in 0..cfg.invocations {
+        let (m, c) = measure_invocation::<Q>(cfg, &delay, inv as u64);
+        means.push(m);
+        covs.push(c);
+    }
+    let (mean, ci_half) = stats::confidence_interval_95(&means);
+    Measurement {
+        mean,
+        ci_half,
+        invocations: means,
+        windows_cov: covs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use wfq_baselines::MutexQueue;
+
+    fn tiny() -> BenchConfig {
+        BenchConfig {
+            threads: 2,
+            total_ops: 10_000,
+            workload: Workload::Pairs,
+            delay_ns: (0, 0),
+            max_iterations: 6,
+            window: 3,
+            invocations: 3,
+            pin: false,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn invocation_produces_a_steady_mean() {
+        let delay = SpinDelay::calibrate();
+        let (m, c) = measure_invocation::<MutexQueue>(&tiny(), &delay, 0);
+        assert!(m > 0.0);
+        assert!(c.is_finite());
+    }
+
+    #[test]
+    fn full_measurement_reports_ci() {
+        let m = measure_queue::<MutexQueue>(&tiny());
+        assert_eq!(m.invocations.len(), 3);
+        assert!(m.mean > 0.0);
+        assert!(m.ci_half >= 0.0);
+        assert!(m.ci_half.is_finite());
+    }
+}

@@ -1,0 +1,124 @@
+//! Result series and renderers (markdown tables for EXPERIMENTS.md, CSV
+//! for plotting).
+
+use serde::Serialize;
+
+/// One (thread count → throughput) point of a Figure 2 line.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SeriesPoint {
+    /// Concurrency level.
+    pub threads: usize,
+    /// Mean throughput, Mops/s.
+    pub mean_mops: f64,
+    /// 95% CI half-width.
+    pub ci_half: f64,
+}
+
+/// One queue's line in a figure.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Series {
+    /// Queue display name.
+    pub name: String,
+    /// Sweep points, ascending thread counts.
+    pub points: Vec<SeriesPoint>,
+}
+
+/// Renders a set of series as a markdown table: one row per thread count,
+/// one column per queue, `mean ± ci`.
+pub fn render_markdown(series: &[Series], caption: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("**{caption}** (Mops/s, mean ± 95% CI)\n\n"));
+    if series.is_empty() {
+        return out;
+    }
+    let threads: Vec<usize> = series[0].points.iter().map(|p| p.threads).collect();
+    out.push_str("| threads |");
+    for s in series {
+        out.push_str(&format!(" {} |", s.name));
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in series {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for (i, t) in threads.iter().enumerate() {
+        out.push_str(&format!("| {t} |"));
+        for s in series {
+            match s.points.get(i) {
+                Some(p) => out.push_str(&format!(" {:.2} ± {:.2} |", p.mean_mops, p.ci_half)),
+                None => out.push_str(" — |"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders series as CSV: `queue,threads,mean_mops,ci_half`.
+pub fn render_csv(series: &[Series]) -> String {
+    let mut out = String::from("queue,threads,mean_mops,ci_half\n");
+    for s in series {
+        for p in &s.points {
+            out.push_str(&format!(
+                "{},{},{:.6},{:.6}\n",
+                s.name, p.threads, p.mean_mops, p.ci_half
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Series> {
+        vec![
+            Series {
+                name: "WF-10".into(),
+                points: vec![
+                    SeriesPoint { threads: 1, mean_mops: 10.0, ci_half: 0.5 },
+                    SeriesPoint { threads: 2, mean_mops: 12.0, ci_half: 0.7 },
+                ],
+            },
+            Series {
+                name: "MSQUEUE".into(),
+                points: vec![
+                    SeriesPoint { threads: 1, mean_mops: 9.0, ci_half: 0.1 },
+                    SeriesPoint { threads: 2, mean_mops: 5.0, ci_half: 0.2 },
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn markdown_has_header_and_rows() {
+        let md = render_markdown(&sample(), "pairs");
+        assert!(md.contains("| threads | WF-10 | MSQUEUE |"));
+        assert!(md.contains("| 1 | 10.00 ± 0.50 | 9.00 ± 0.10 |"));
+        assert!(md.contains("| 2 | 12.00 ± 0.70 | 5.00 ± 0.20 |"));
+    }
+
+    #[test]
+    fn csv_has_one_line_per_point() {
+        let csv = render_csv(&sample());
+        assert_eq!(csv.lines().count(), 1 + 4);
+        assert!(csv.starts_with("queue,threads,"));
+        assert!(csv.contains("WF-10,2,12.000000,0.700000"));
+    }
+
+    #[test]
+    fn empty_series_render_gracefully() {
+        assert!(render_markdown(&[], "x").contains("**x**"));
+        assert_eq!(render_csv(&[]).lines().count(), 1);
+    }
+
+    #[test]
+    fn ragged_series_render_dashes() {
+        let mut s = sample();
+        s[1].points.pop();
+        let md = render_markdown(&s, "ragged");
+        assert!(md.contains("| 2 | 12.00 ± 0.70 | — |"));
+    }
+}

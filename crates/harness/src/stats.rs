@@ -1,0 +1,161 @@
+//! Statistics: mean, standard deviation, coefficient of variation, and
+//! Student-t 95% confidence intervals (Georges et al., the methodology the
+//! paper adopts in §5.1).
+
+/// Arithmetic mean. Empty input yields 0.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (n − 1 denominator). Fewer than two samples
+/// yield 0.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Coefficient of variation, `s / x̄`. Zero mean yields infinity (so a COV
+/// threshold test fails, which is the conservative outcome).
+pub fn cov(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m == 0.0 {
+        f64::INFINITY
+    } else {
+        stddev(xs) / m
+    }
+}
+
+/// Two-sided 95% critical values of Student's t distribution, indexed by
+/// degrees of freedom 1..=30 (the standard table; the paper's n = 10
+/// invocations use df = 9 → 2.262).
+const T_95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// 95% critical value for the given degrees of freedom (≥ 1). Beyond the
+/// table it converges to the normal quantile 1.960.
+pub fn t_critical_95(df: usize) -> f64 {
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => T_95[df - 1],
+        31..=60 => 2.000,
+        61..=120 => 1.980,
+        _ => 1.960,
+    }
+}
+
+/// Mean and 95% confidence half-width over invocation means, per Georges
+/// et al.: `x̄ ± t(0.975, n−1) · s / √n`.
+pub fn confidence_interval_95(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len();
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    if n == 1 {
+        return (xs[0], 0.0);
+    }
+    let m = mean(xs);
+    let half = t_critical_95(n - 1) * stddev(xs) / (n as f64).sqrt();
+    (m, half)
+}
+
+/// Finds the steady-state window per the paper: the first window of
+/// `window` consecutive iterations whose COV falls below `threshold`,
+/// else the window with the lowest COV. Returns `(start_index, cov)`;
+/// `None` if fewer than `window` samples exist.
+pub fn steady_state_window(xs: &[f64], window: usize, threshold: f64) -> Option<(usize, f64)> {
+    if xs.len() < window || window == 0 {
+        return None;
+    }
+    let mut best = (0usize, f64::INFINITY);
+    for start in 0..=(xs.len() - window) {
+        let c = cov(&xs[start..start + window]);
+        if c < threshold {
+            return Some((start, c));
+        }
+        if c < best.1 {
+            best = (start, c);
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev_basics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sample stddev of this classic set is ~2.138.
+        assert!((stddev(&xs) - 2.1380899352993947).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stddev(&[1.0]), 0.0);
+        assert_eq!(cov(&[0.0, 0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn cov_of_constant_series_is_zero() {
+        assert_eq!(cov(&[3.0, 3.0, 3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn t_table_matches_known_values() {
+        assert!((t_critical_95(9) - 2.262).abs() < 1e-9, "paper's df = 9");
+        assert!((t_critical_95(1) - 12.706).abs() < 1e-9);
+        assert!((t_critical_95(1000) - 1.960).abs() < 1e-9);
+        assert_eq!(t_critical_95(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn confidence_interval_for_ten_invocations() {
+        // Ten identical values: zero-width interval.
+        let xs = [5.0; 10];
+        let (m, h) = confidence_interval_95(&xs);
+        assert_eq!(m, 5.0);
+        assert_eq!(h, 0.0);
+        // Known case: mean 10, s = 1, n = 10 → half = 2.262/√10.
+        let xs: Vec<f64> = (0..10).map(|i| 10.0 + ((i % 2) as f64 * 2.0 - 1.0)).collect();
+        let (_, h) = confidence_interval_95(&xs);
+        let expect = 2.262 * stddev(&xs) / 10f64.sqrt();
+        assert!((h - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steady_state_finds_first_quiet_window() {
+        // Noisy warmup, then steady.
+        let xs = [1.0, 9.0, 2.0, 8.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0];
+        let (start, c) = steady_state_window(&xs, 5, 0.02).unwrap();
+        assert_eq!(start, 4, "first all-steady window begins at index 4");
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn steady_state_falls_back_to_lowest_cov() {
+        // Never below threshold: pick the quietest window.
+        let xs = [1.0, 2.0, 1.0, 2.0, 1.0, 2.0, 1.9, 2.0, 2.1, 1.8];
+        let (start, c) = steady_state_window(&xs, 5, 0.0001).unwrap();
+        assert!(c > 0.0001);
+        assert!(start >= 4, "quietest window is near the tail, got {start}");
+    }
+
+    #[test]
+    fn steady_state_requires_enough_samples() {
+        assert!(steady_state_window(&[1.0, 2.0], 5, 0.02).is_none());
+    }
+}

@@ -1,0 +1,261 @@
+//! The paper's two benchmark workloads (§5.1) and one timed iteration.
+//!
+//! - **enqueue–dequeue pairs**: each thread alternates enqueue and dequeue;
+//!   the benchmark performs `total_ops / 2` pairs split evenly over threads.
+//! - **50% enqueues**: each thread flips a uniform coin per operation.
+//!
+//! Between operations every thread performs a random 50–100 ns spin "work"
+//! to break up long runs (one thread monopolizing the queue from its own
+//! L1); the spin time is excluded from the reported throughput exactly as
+//! in the paper.
+
+use std::sync::Barrier;
+use std::time::Instant;
+
+use wfq_baselines::{BenchQueue, QueueHandle};
+use wfq_sync::delay::SpinDelay;
+use wfq_sync::XorShift64;
+
+use crate::topology;
+
+/// Which workload to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Enqueue–dequeue pairs.
+    Pairs,
+    /// Enqueue or dequeue with equal odds per operation.
+    FiftyEnqueues,
+}
+
+impl Workload {
+    /// Paper-style display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Pairs => "enqueue-dequeue pairs",
+            Workload::FiftyEnqueues => "50%-enqueues",
+        }
+    }
+}
+
+/// Full benchmark configuration (defaults reproduce the paper, with
+/// `total_ops` left to the caller to scale to the host).
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Concurrency level.
+    pub threads: usize,
+    /// Operations per iteration, split evenly over threads (paper: 10^7).
+    pub total_ops: u64,
+    /// Workload shape.
+    pub workload: Workload,
+    /// Inclusive bounds of the inter-operation "work" in nanoseconds
+    /// (paper: 50–100; set to (0, 0) to disable).
+    pub delay_ns: (u64, u64),
+    /// Maximum iterations per invocation (paper: 20).
+    pub max_iterations: usize,
+    /// Steady-state window length (paper: 5).
+    pub window: usize,
+    /// Steady-state COV threshold (paper: 0.02).
+    pub cov_threshold: f64,
+    /// Number of invocations (paper: 10).
+    pub invocations: usize,
+    /// Pin threads compactly to hardware threads.
+    pub pin: bool,
+    /// Base PRNG seed (per-thread streams are derived from it).
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            total_ops: 1_000_000,
+            workload: Workload::Pairs,
+            delay_ns: (50, 100),
+            max_iterations: 20,
+            window: 5,
+            cov_threshold: 0.02,
+            invocations: 10,
+            pin: true,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// The paper's exact parameters (10^7 ops — slow on small hosts).
+    pub fn paper(workload: Workload) -> Self {
+        Self {
+            total_ops: 10_000_000,
+            workload,
+            ..Self::default()
+        }
+    }
+
+    /// A configuration scaled for quick runs (CI, laptops).
+    pub fn quick(workload: Workload) -> Self {
+        Self {
+            total_ops: 200_000,
+            workload,
+            max_iterations: 8,
+            invocations: 3,
+            ..Self::default()
+        }
+    }
+}
+
+/// Runs one timed iteration of the workload against `q`; returns
+/// throughput in Mops/s with the injected work time excluded.
+///
+/// Values enqueued are `thread_tag | counter` and therefore unique, so the
+/// same workload drivers double as checker workloads.
+pub fn run_iteration<Q: BenchQueue>(q: &Q, cfg: &BenchConfig, delay: &SpinDelay, round: u64) -> f64 {
+    let threads = cfg.threads.max(1);
+    let per_thread = (cfg.total_ops / threads as u64).max(2);
+    let barrier = Barrier::new(threads);
+    // Per-thread effective (work-excluded) nanoseconds.
+    let mut effective_ns = vec![0u64; threads];
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let q = &q;
+                let barrier = &barrier;
+                let cfg = &cfg;
+                s.spawn(move || {
+                    if cfg.pin {
+                        topology::pin_to_cpu(t);
+                    }
+                    let mut h = q.register();
+                    let mut rng =
+                        XorShift64::for_stream(cfg.seed ^ round.wrapping_mul(0x9E37), t as u64);
+                    // Unique-value tag: thread in the top bits, 1-based
+                    // counter below. Stays clear of 0 and u64::MAX.
+                    let tag = ((t as u64 + 1) << 40) | 1;
+                    let mut counter = 0u64;
+                    let (dlo, dhi) = cfg.delay_ns;
+                    let mut delay_ns_total = 0u64;
+                    let spin = |rng: &mut XorShift64, total: &mut u64| {
+                        if dhi > 0 {
+                            let ns = rng.next_in(dlo, dhi);
+                            *total += ns;
+                            delay.wait_ns(ns);
+                        }
+                    };
+
+                    barrier.wait();
+                    let start = Instant::now();
+                    match cfg.workload {
+                        Workload::Pairs => {
+                            let pairs = per_thread / 2;
+                            for _ in 0..pairs {
+                                counter += 1;
+                                h.enqueue(tag + counter);
+                                spin(&mut rng, &mut delay_ns_total);
+                                let _ = h.dequeue();
+                                spin(&mut rng, &mut delay_ns_total);
+                            }
+                        }
+                        Workload::FiftyEnqueues => {
+                            for _ in 0..per_thread {
+                                if rng.coin() {
+                                    counter += 1;
+                                    h.enqueue(tag + counter);
+                                } else {
+                                    let _ = h.dequeue();
+                                }
+                                spin(&mut rng, &mut delay_ns_total);
+                            }
+                        }
+                    }
+                    let elapsed = start.elapsed().as_nanos() as u64;
+                    // Work exclusion with a sanity floor: if the calibrated
+                    // spin undershot (preempted calibration), subtracting
+                    // the intended delay could erase nearly all of the
+                    // elapsed time and report absurd throughput. Queue
+                    // operations always cost a nontrivial share of the
+                    // delay-inclusive runtime, so floor at elapsed / 20.
+                    elapsed
+                        .saturating_sub(delay_ns_total)
+                        .max(elapsed / 20)
+                        .max(1)
+                })
+            })
+            .collect();
+        for (t, h) in handles.into_iter().enumerate() {
+            effective_ns[t] = h.join().expect("benchmark thread panicked");
+        }
+    });
+
+    // Throughput over the slowest thread's effective time — every thread
+    // performed per_thread ops (rounded down to pairs for Pairs).
+    let ops_done: u64 = match cfg.workload {
+        Workload::Pairs => (per_thread / 2) * 2 * threads as u64,
+        Workload::FiftyEnqueues => per_thread * threads as u64,
+    };
+    let max_ns = *effective_ns.iter().max().unwrap() as f64;
+    ops_done as f64 / max_ns * 1e3 // ops/ns → Mops/s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfq_baselines::MutexQueue;
+    use wfqueue::RawQueue;
+
+    fn tiny(workload: Workload, threads: usize) -> BenchConfig {
+        BenchConfig {
+            threads,
+            total_ops: 20_000,
+            workload,
+            delay_ns: (0, 0),
+            pin: false,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn pairs_iteration_reports_positive_throughput() {
+        let q = <RawQueue as BenchQueue>::new();
+        let delay = SpinDelay::calibrate();
+        let mops = run_iteration(&q, &tiny(Workload::Pairs, 1), &delay, 0);
+        assert!(mops > 0.0);
+    }
+
+    #[test]
+    fn fifty_iteration_runs_multithreaded() {
+        let q = <MutexQueue as BenchQueue>::new();
+        let delay = SpinDelay::calibrate();
+        let mops = run_iteration(&q, &tiny(Workload::FiftyEnqueues, 3), &delay, 1);
+        assert!(mops > 0.0);
+    }
+
+    #[test]
+    fn delay_exclusion_keeps_throughput_sane() {
+        // With a large injected delay, excluded throughput should still be
+        // within an order of magnitude of the no-delay run (not collapsed).
+        let delay = SpinDelay::calibrate();
+        let q = <MutexQueue as BenchQueue>::new();
+        let no_delay = run_iteration(&q, &tiny(Workload::Pairs, 1), &delay, 2);
+        let q2 = <MutexQueue as BenchQueue>::new();
+        let mut cfg = tiny(Workload::Pairs, 1);
+        cfg.total_ops = 4_000;
+        cfg.delay_ns = (500, 1000);
+        let with_delay = run_iteration(&q2, &cfg, &delay, 2);
+        assert!(
+            with_delay > no_delay / 20.0,
+            "delay exclusion broken: {with_delay} vs {no_delay}"
+        );
+    }
+
+    #[test]
+    fn workload_names() {
+        assert_eq!(Workload::Pairs.name(), "enqueue-dequeue pairs");
+        assert_eq!(Workload::FiftyEnqueues.name(), "50%-enqueues");
+    }
+
+    #[test]
+    fn config_presets() {
+        assert_eq!(BenchConfig::paper(Workload::Pairs).total_ops, 10_000_000);
+        assert!(BenchConfig::quick(Workload::Pairs).total_ops < 1_000_000);
+    }
+}

@@ -1,0 +1,130 @@
+//! Calibrated busy-wait delays.
+//!
+//! The paper inserts a *random amount of "work" (between 50 and 100 ns)*
+//! between queue operations to break up unrealistically long runs where one
+//! thread hammers the queue straight out of its own L1 ("artificial long run
+//! scenarios", §5.1). The delay must be a pure CPU spin — sleeping would
+//! deschedule the thread and destroy the contention the benchmark is trying
+//! to create.
+//!
+//! [`SpinDelay`] calibrates a `pause`-based spin loop against the monotonic
+//! clock once, then converts requested nanoseconds into loop iterations.
+
+use std::time::{Duration, Instant};
+
+/// Number of spin-loop hint iterations per calibration probe.
+const PROBE_ITERS: u64 = 200_000;
+
+/// A calibrated nanosecond-resolution busy-wait.
+#[derive(Debug, Clone, Copy)]
+pub struct SpinDelay {
+    /// Spin iterations per nanosecond, in 16.16 fixed point.
+    iters_per_ns_fp: u64,
+}
+
+#[inline(never)]
+fn spin_iters(n: u64) {
+    for _ in 0..n {
+        core::hint::spin_loop();
+    }
+}
+
+impl SpinDelay {
+    /// Calibrates the spin loop against `Instant::now`.
+    ///
+    /// Takes a few milliseconds; do it once per process, outside any timed
+    /// region. The **maximum** rate across several probes is used: any
+    /// preemption during a probe inflates its elapsed time and deflates
+    /// its rate, so the max is the least-biased estimate of the true spin
+    /// speed. (A too-low rate would make `wait_ns` spin for *less* than
+    /// requested, which in the benchmark harness over-subtracts injected
+    /// work and inflates throughput.)
+    pub fn calibrate() -> Self {
+        let mut best = 0u64;
+        for _ in 0..7 {
+            let start = Instant::now();
+            spin_iters(PROBE_ITERS);
+            let elapsed = start.elapsed().as_nanos().max(1) as u64;
+            // iters/ns in 16.16 fixed point
+            best = best.max((PROBE_ITERS << 16) / elapsed);
+        }
+        Self {
+            iters_per_ns_fp: best.max(1),
+        }
+    }
+
+    /// Builds a delay with a known iterations-per-nanosecond rate (testing).
+    pub const fn with_rate_fp(iters_per_ns_fp: u64) -> Self {
+        Self { iters_per_ns_fp }
+    }
+
+    /// Busy-waits for approximately `ns` nanoseconds.
+    #[inline]
+    pub fn wait_ns(&self, ns: u64) {
+        let iters = (ns.saturating_mul(self.iters_per_ns_fp)) >> 16;
+        spin_iters(iters.max(1));
+    }
+
+    /// Converts nanoseconds to spin iterations (exposed so hot loops can
+    /// pre-compute per-operation budgets).
+    #[inline]
+    pub fn iters_for_ns(&self, ns: u64) -> u64 {
+        ((ns.saturating_mul(self.iters_per_ns_fp)) >> 16).max(1)
+    }
+
+    /// Runs exactly `iters` spin iterations.
+    #[inline]
+    pub fn wait_iters(&self, iters: u64) {
+        spin_iters(iters);
+    }
+
+    /// Rough wall-clock estimate of `iters` spin iterations.
+    pub fn estimate(&self, iters: u64) -> Duration {
+        Duration::from_nanos((iters << 16) / self.iters_per_ns_fp.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_produces_positive_rate() {
+        let d = SpinDelay::calibrate();
+        assert!(d.iters_per_ns_fp > 0);
+    }
+
+    #[test]
+    fn wait_ns_is_monotone_in_duration() {
+        let d = SpinDelay::calibrate();
+        let t0 = Instant::now();
+        for _ in 0..1000 {
+            d.wait_ns(50);
+        }
+        let short = t0.elapsed();
+        let t1 = Instant::now();
+        for _ in 0..1000 {
+            d.wait_ns(2000);
+        }
+        let long = t1.elapsed();
+        assert!(
+            long > short,
+            "2000ns waits ({long:?}) should exceed 50ns waits ({short:?})"
+        );
+    }
+
+    #[test]
+    fn iters_for_ns_scales_linearly() {
+        let d = SpinDelay::with_rate_fp(2 << 16); // 2 iters per ns
+        assert_eq!(d.iters_for_ns(100), 200);
+        assert_eq!(d.iters_for_ns(50), 100);
+    }
+
+    #[test]
+    fn estimate_inverts_iters_for_ns() {
+        let d = SpinDelay::with_rate_fp(4 << 16);
+        let iters = d.iters_for_ns(1000);
+        let est = d.estimate(iters);
+        assert_eq!(est, Duration::from_nanos(1000));
+    }
+}

@@ -1,0 +1,117 @@
+//! Tiny deterministic PRNG for benchmark-path randomness.
+//!
+//! The paper's 50%-enqueues workload flips a uniform coin per operation and
+//! the inter-operation "work" is a uniform 50–100 ns delay. Those decisions
+//! must not allocate, lock, or dominate the measured path, so we use a
+//! xorshift64* generator: one multiply and three shifts per draw, with full
+//! 64-bit period for any non-zero seed.
+
+/// Xorshift64* generator (Vigna 2016 parameters).
+///
+/// ```
+/// use wfq_sync::XorShift64;
+/// let mut a = XorShift64::new(42);
+/// let mut b = XorShift64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic per seed
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from `seed`; a zero seed is remapped to a fixed
+    /// non-zero constant (xorshift has a fixed point at 0).
+    pub const fn new(seed: u64) -> Self {
+        let state = if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed };
+        Self { state }
+    }
+
+    /// Derives a stream-`i` generator from a base seed, for one-per-thread
+    /// seeding (SplitMix64 scramble so nearby ids decorrelate).
+    pub const fn for_stream(base: u64, i: u64) -> Self {
+        let mut z = base
+            .wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(i.wrapping_add(1)));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Self::new(z)
+    }
+
+    /// Next raw 64-bit draw.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw in `[0, bound)` (Lemire's multiply-shift reduction;
+    /// slight modulo bias is irrelevant at benchmark bounds ≪ 2^64).
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform draw in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn next_in(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Fair coin flip.
+    #[inline]
+    pub fn coin(&mut self) -> bool {
+        // Use the high bit: xorshift64* low bits are weaker.
+        self.next_u64() >> 63 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = XorShift64::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn streams_differ() {
+        let mut a = XorShift64::for_stream(7, 0);
+        let mut b = XorShift64::for_stream(7, 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn bounded_draws_stay_in_range() {
+        let mut r = XorShift64::new(123);
+        for _ in 0..10_000 {
+            let v = r.next_in(50, 100);
+            assert!((50..=100).contains(&v));
+        }
+    }
+
+    #[test]
+    fn coin_is_roughly_fair() {
+        let mut r = XorShift64::new(99);
+        let heads = (0..100_000).filter(|_| r.coin()).count();
+        assert!((40_000..=60_000).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn next_below_covers_small_bounds() {
+        let mut r = XorShift64::new(5);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[r.next_below(4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,75 @@
+//! Quickstart: the typed wait-free queue in 40 lines.
+//!
+//! ```text
+//! cargo run -p wfq-examples --release --bin quickstart
+//! ```
+//!
+//! Spawns producers and consumers over one [`wfqueue::WfQueue`], moves a
+//! million messages, and prints the throughput and the queue's execution-
+//! path statistics (how often the wait-free slow path actually ran).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use wfqueue::WfQueue;
+
+const PRODUCERS: usize = 2;
+const CONSUMERS: usize = 2;
+const PER_PRODUCER: u64 = 250_000;
+
+fn main() {
+    let queue: WfQueue<u64> = WfQueue::new();
+    let consumed = AtomicU64::new(0);
+    let checksum = AtomicU64::new(0);
+    let total = PRODUCERS as u64 * PER_PRODUCER;
+
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for p in 0..PRODUCERS {
+            let queue = &queue;
+            s.spawn(move || {
+                let mut h = queue.handle();
+                for i in 0..PER_PRODUCER {
+                    h.enqueue(p as u64 * PER_PRODUCER + i);
+                }
+            });
+        }
+        for _ in 0..CONSUMERS {
+            let queue = &queue;
+            let consumed = &consumed;
+            let checksum = &checksum;
+            s.spawn(move || {
+                let mut h = queue.handle();
+                let mut local_sum = 0u64;
+                loop {
+                    if consumed.load(Ordering::Relaxed) >= total {
+                        break;
+                    }
+                    if let Some(v) = h.dequeue() {
+                        local_sum = local_sum.wrapping_add(v);
+                        consumed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                checksum.fetch_add(local_sum, Ordering::Relaxed);
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+
+    let expect: u64 = (0..total).sum();
+    assert_eq!(checksum.load(Ordering::Relaxed), expect, "value conservation");
+    let stats = queue.stats();
+    println!(
+        "moved {total} messages through {PRODUCERS}P/{CONSUMERS}C in {elapsed:?} \
+         ({:.2} Mops/s)",
+        (2 * total) as f64 / elapsed.as_secs_f64() / 1e6
+    );
+    println!(
+        "fast/slow enqueues: {}/{}  fast/slow dequeues: {}/{}  empty dequeues: {}",
+        stats.enq_fast, stats.enq_slow, stats.deq_fast, stats.deq_slow, stats.deq_empty
+    );
+    println!(
+        "segments allocated/freed: {}/{} (reclamation ran {} times)",
+        stats.segs_alloc, stats.segs_freed, stats.cleanups
+    );
+}

@@ -1,0 +1,65 @@
+//! Mini shootout: every queue in the repository side by side on one
+//! command line — a condensed, self-contained Figure 2 data point.
+//!
+//! ```text
+//! cargo run -p wfq-examples --release --bin shootout -- [threads] [ops]
+//! ```
+
+use std::sync::Barrier;
+use std::time::Instant;
+
+use wfq_baselines::{BenchQueue, CcQueue, FaaBench, KpQueue, Lcrq, MsQueue, MutexQueue, QueueHandle, Wf0};
+use wfqueue::RawQueue;
+
+fn run<Q: BenchQueue>(threads: usize, total_ops: u64) -> f64 {
+    let q = Q::new();
+    let pairs = (total_ops / threads as u64 / 2).max(1);
+    let barrier = Barrier::new(threads);
+    let mut worst_ns = 0u64;
+    std::thread::scope(|s| {
+        let hs: Vec<_> = (0..threads)
+            .map(|t| {
+                let q = &q;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let mut h = q.register();
+                    let tag = ((t as u64 + 1) << 40) | 1;
+                    barrier.wait();
+                    let start = Instant::now();
+                    for i in 0..pairs {
+                        h.enqueue(tag + i);
+                        let _ = h.dequeue();
+                    }
+                    start.elapsed().as_nanos() as u64
+                })
+            })
+            .collect();
+        for h in hs {
+            worst_ns = worst_ns.max(h.join().unwrap());
+        }
+    });
+    (pairs * 2 * threads as u64) as f64 / worst_ns as f64 * 1e3
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let ops: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(400_000);
+    println!("pairs workload, {threads} threads, {ops} ops, best of 3:\n");
+
+    macro_rules! shoot {
+        ($q:ty) => {{
+            let best = (0..3).map(|_| run::<$q>(threads, ops)).fold(0.0f64, f64::max);
+            println!("{:>8}: {best:>8.2} Mops/s", <$q as BenchQueue>::NAME);
+        }};
+    }
+    shoot!(FaaBench);
+    shoot!(RawQueue);
+    shoot!(Wf0);
+    shoot!(Lcrq);
+    shoot!(CcQueue);
+    shoot!(MsQueue);
+    shoot!(KpQueue);
+    shoot!(MutexQueue);
+    println!("\nF&A is the practical upper bound for FAA-based queues (paper §5).");
+}

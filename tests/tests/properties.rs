@@ -1,0 +1,189 @@
+//! Property-based tests: every queue in the repository is sequentially
+//! equivalent to `VecDeque` under arbitrary operation sequences, and the
+//! checker infrastructure itself satisfies its contracts.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+use wfq_baselines::{BenchQueue, CcQueue, KpQueue, Lcrq, MsQueue, MutexQueue, QueueHandle, Wf0};
+use wfq_checker::{check_linearizable, check_necessary, History, OpKind};
+use wfqueue::{Config, RawQueue, WfQueue};
+
+/// An abstract operation for the model test.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Enq(u64),
+    Deq,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..1_000_000).prop_map(Op::Enq),
+        Just(Op::Deq),
+    ]
+}
+
+/// Applies `ops` to both the queue under test and a VecDeque model; every
+/// dequeue must agree.
+fn check_sequential<Q: BenchQueue>(ops: &[Op]) {
+    let q = Q::new();
+    let mut h = q.register();
+    let mut model: VecDeque<u64> = VecDeque::new();
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Enq(v) => {
+                h.enqueue(v);
+                model.push_back(v);
+            }
+            Op::Deq => {
+                let got = h.dequeue();
+                let want = model.pop_front();
+                assert_eq!(got, want, "{} diverged at step {step}", Q::NAME);
+            }
+        }
+    }
+    // Drain: the tail of the model must come out in order.
+    while let Some(want) = model.pop_front() {
+        assert_eq!(h.dequeue(), Some(want), "{} diverged in drain", Q::NAME);
+    }
+    assert_eq!(h.dequeue(), None);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn wf10_matches_vecdeque(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        check_sequential::<RawQueue>(&ops);
+    }
+
+    #[test]
+    fn wf0_matches_vecdeque(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        check_sequential::<Wf0>(&ops);
+    }
+
+    #[test]
+    fn msqueue_matches_vecdeque(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        check_sequential::<MsQueue>(&ops);
+    }
+
+    #[test]
+    fn lcrq_matches_vecdeque(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        check_sequential::<Lcrq>(&ops);
+    }
+
+    #[test]
+    fn ccqueue_matches_vecdeque(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        check_sequential::<CcQueue>(&ops);
+    }
+
+    #[test]
+    fn mutex_matches_vecdeque(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        check_sequential::<MutexQueue>(&ops);
+    }
+
+    #[test]
+    fn kpqueue_matches_vecdeque(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        check_sequential::<KpQueue>(&ops);
+    }
+
+    /// Tiny segments force constant list extension and reclamation while
+    /// remaining sequentially correct.
+    #[test]
+    fn wf_with_tiny_segments_matches_vecdeque(
+        ops in proptest::collection::vec(op_strategy(), 1..400),
+    ) {
+        let q: RawQueue<8> = RawQueue::with_config(
+            Config::default().with_max_garbage(1),
+        );
+        let mut h = q.register();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for op in &ops {
+            match *op {
+                Op::Enq(v) => { h.enqueue(v); model.push_back(v); }
+                Op::Deq => {
+                    prop_assert_eq!(h.dequeue(), model.pop_front());
+                }
+            }
+        }
+    }
+
+    /// Typed queue: arbitrary values (including the raw sentinels) survive
+    /// boxing round-trips.
+    #[test]
+    fn typed_queue_roundtrips_any_u64(vals in proptest::collection::vec(any::<u64>(), 1..200)) {
+        let q: WfQueue<u64> = WfQueue::new();
+        let mut h = q.handle();
+        for &v in &vals { h.enqueue(v); }
+        for &v in &vals {
+            prop_assert_eq!(h.dequeue(), Some(v));
+        }
+        prop_assert_eq!(h.dequeue(), None);
+    }
+
+    /// Any *valid* sequential FIFO history passes both checkers.
+    #[test]
+    fn checkers_accept_valid_sequential_histories(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut kinds = Vec::new();
+        let mut next = 1u64;
+        for op in &ops {
+            match op {
+                Op::Enq(_) => {
+                    // Force unique values (checker precondition).
+                    kinds.push(OpKind::Enqueue(next));
+                    model.push_back(next);
+                    next += 1;
+                }
+                Op::Deq => {
+                    kinds.push(OpKind::Dequeue(model.pop_front()));
+                }
+            }
+        }
+        let h = History::sequential(&kinds);
+        prop_assert_eq!(check_necessary(&h), Ok(()));
+        prop_assert!(check_linearizable(&h, 1_000_000).is_ok() || h.len() > 128);
+    }
+
+    /// Corrupting one dequeue's result in a valid history must be caught
+    /// by the exhaustive checker (completeness against mutations).
+    #[test]
+    fn checker_rejects_mutated_histories(
+        n_values in 2usize..10,
+        swap in any::<bool>(),
+    ) {
+        // Build enq(1..n) then deq all; mutate by swapping two dequeue
+        // results or dropping one value for a never-enqueued one.
+        let mut kinds: Vec<OpKind> = (1..=n_values as u64).map(OpKind::Enqueue).collect();
+        let mut dq: Vec<u64> = (1..=n_values as u64).collect();
+        if swap {
+            dq.swap(0, n_values - 1); // out of FIFO order
+        } else {
+            dq[0] = 777_777; // value from nowhere
+        }
+        kinds.extend(dq.into_iter().map(|v| OpKind::Dequeue(Some(v))));
+        let h = History::sequential(&kinds);
+        prop_assert!(!check_linearizable(&h, 1_000_000).is_ok());
+        prop_assert!(check_necessary(&h).is_err());
+    }
+}
+
+/// Non-proptest regression: interleaved enqueue/dequeue around emptiness.
+#[test]
+fn emptiness_edge_sequence() {
+    for patience in [0, 1, 10] {
+        let q: RawQueue<64> =
+            RawQueue::with_config(Config::default().with_patience(patience));
+        let mut h = q.register();
+        for round in 0..50u64 {
+            assert_eq!(h.dequeue(), None, "patience {patience}");
+            h.enqueue(round + 1);
+            h.enqueue(round + 1000);
+            assert_eq!(h.dequeue(), Some(round + 1));
+            assert_eq!(h.dequeue(), Some(round + 1000));
+            assert_eq!(h.dequeue(), None);
+        }
+    }
+}
