@@ -20,7 +20,7 @@ use core::cell::UnsafeCell;
 use core::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::collections::VecDeque;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use wfq_sync::CachePadded;
 
 use crate::{BenchQueue, QueueHandle};
@@ -110,7 +110,7 @@ impl CcQueue {
     /// Registers the calling thread.
     pub fn register(&self) -> CcHandle<'_> {
         let spare = CcNode::alloc();
-        self.nodes.lock().push(spare);
+        self.nodes.lock().unwrap().push(spare);
         CcHandle { q: self, spare }
     }
 
@@ -201,7 +201,7 @@ impl Default for CcQueue {
 
 impl Drop for CcQueue {
     fn drop(&mut self) {
-        for &n in self.nodes.get_mut().iter() {
+        for &n in self.nodes.get_mut().unwrap().iter() {
             // SAFETY: exclusive access; handles (and their spare pointers)
             // are gone by the lifetime rules.
             unsafe { drop(Box::from_raw(n)) };

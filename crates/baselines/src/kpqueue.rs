@@ -29,7 +29,7 @@
 
 use core::sync::atomic::{AtomicI64, AtomicPtr, Ordering};
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use wfq_sync::CachePadded;
 
 use crate::{BenchQueue, QueueHandle};
@@ -148,7 +148,7 @@ impl KpQueue {
     /// Registers the calling thread. Panics if more than [`MAX_THREADS`]
     /// handles are live simultaneously.
     pub fn register(&self) -> KpHandle<'_> {
-        let mut pool = self.tids.lock();
+        let mut pool = self.tids.lock().unwrap();
         let tid = pool.free.pop().unwrap_or_else(|| {
             let t = pool.next;
             assert!(t < MAX_THREADS, "KpQueue supports at most {MAX_THREADS} threads");
@@ -368,7 +368,7 @@ impl Default for KpQueue {
 
 impl Drop for KpQueue {
     fn drop(&mut self) {
-        let g = self.garbage.get_mut();
+        let g = self.garbage.get_mut().unwrap();
         for &d in &g.descs {
             // SAFETY: exclusive access at drop; every descriptor was logged
             // exactly once.
@@ -424,10 +424,10 @@ impl KpHandle<'_> {
 
 impl Drop for KpHandle<'_> {
     fn drop(&mut self) {
-        let mut g = self.q.garbage.lock();
+        let mut g = self.q.garbage.lock().unwrap();
         g.nodes.append(&mut self.nodes);
         g.descs.append(&mut self.descs);
-        self.q.tids.lock().free.push(self.tid);
+        self.q.tids.lock().unwrap().free.push(self.tid);
     }
 }
 

@@ -16,7 +16,7 @@
 use core::sync::atomic::{AtomicPtr, Ordering};
 
 use wfq_reclaim::{Domain, HazardThread};
-use wfq_sync::CachePadded;
+use wfq_sync::{inject, CachePadded};
 
 use crate::crq::{Crq, CrqPush, DEFAULT_RING_ORDER};
 use crate::{BenchQueue, QueueHandle};
@@ -105,6 +105,7 @@ impl LcrqHandle<'_> {
     pub fn enqueue(&mut self, v: u64) {
         loop {
             let crq = self.hazard.protect(0, &self.q.tail);
+            inject!("lcrq::enq::tail_protected");
             // SAFETY: protected.
             let next = unsafe { (*crq).next.load(Ordering::Acquire) };
             if !next.is_null() {
@@ -121,6 +122,7 @@ impl LcrqHandle<'_> {
                 return;
             }
             // Ring closed: append a fresh CRQ seeded with our value.
+            inject!("lcrq::enq::ring_closed");
             let fresh = crq_alloc(self.q.ring_order);
             // SAFETY: fresh is exclusively ours; seeding cannot fail on an
             // empty open ring.
@@ -177,6 +179,7 @@ impl LcrqHandle<'_> {
                 self.hazard.clear(0);
                 return Some(v);
             }
+            inject!("lcrq::deq::pre_unlink");
             if self
                 .q
                 .head

@@ -129,6 +129,19 @@ mod wf_impl {
 
 pub use wf_impl::{Wf0, Wf0Handle};
 
+/// Named fault-injection points compiled into the baselines (see
+/// [`wfqueue::FAULT_POINTS`] for the naming convention). These cover the
+/// hazard-pointer unlink/retire windows of the reference queues so the
+/// schedule fuzzer can stress the baselines with the same machinery.
+pub const FAULT_POINTS: &[&str] = &[
+    "lcrq::enq::tail_protected",
+    "lcrq::enq::ring_closed",
+    "lcrq::deq::pre_unlink",
+    "msq::enq::tail_protected",
+    "msq::deq::next_protected",
+    "msq::deq::pre_unlink",
+];
+
 /// Shared conformance tests: every [`BenchQueue`] must pass these.
 #[cfg(test)]
 pub(crate) mod conformance {

@@ -13,7 +13,7 @@
 use core::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 
 use wfq_reclaim::{Domain, HazardThread};
-use wfq_sync::{Backoff, CachePadded};
+use wfq_sync::{inject, Backoff, CachePadded};
 
 use crate::{BenchQueue, QueueHandle};
 
@@ -118,6 +118,7 @@ impl MsHandle<'_> {
         loop {
             // Protect the tail we are about to inspect.
             let tail = self.hazard.protect(0, &self.q.tail);
+            inject!("msq::enq::tail_protected");
             // SAFETY: `tail` is hazard-protected.
             let next = unsafe { (*tail).next.load(Ordering::Acquire) };
             if tail != self.q.tail.load(Ordering::Acquire) {
@@ -168,6 +169,7 @@ impl MsHandle<'_> {
             let next = unsafe { (*head).next.load(Ordering::Acquire) };
             // Protect `next` before dereferencing it.
             self.hazard.set(1, next);
+            inject!("msq::deq::next_protected");
             if head != self.q.head.load(Ordering::Acquire) {
                 continue; // head moved; next may be junk
             }
@@ -184,6 +186,7 @@ impl MsHandle<'_> {
             }
             // SAFETY: `next` is hazard-protected and validated reachable.
             let val = unsafe { (*next).val };
+            inject!("msq::deq::pre_unlink");
             if self
                 .q
                 .head

@@ -1,4 +1,4 @@
-//! Lock-based reference queue: `parking_lot::Mutex<VecDeque<u64>>`.
+//! Lock-based reference queue: `Mutex<VecDeque<u64>>`.
 //!
 //! Not in the paper's Figure 2 (the paper compares against non-blocking and
 //! combining designs), but indispensable as a sanity reference: it bounds
@@ -8,7 +8,7 @@
 
 use std::collections::VecDeque;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::{BenchQueue, QueueHandle};
 
@@ -37,12 +37,12 @@ impl MutexQueue {
 
     /// Exact current length (takes the lock).
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().unwrap().len()
     }
 
     /// Whether the queue is currently empty (takes the lock).
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.inner.lock().unwrap().is_empty()
     }
 }
 
@@ -55,12 +55,12 @@ impl Default for MutexQueue {
 impl MutexHandle<'_> {
     /// Enqueues `v`.
     pub fn enqueue(&mut self, v: u64) {
-        self.q.inner.lock().push_back(v);
+        self.q.inner.lock().unwrap().push_back(v);
     }
 
     /// Dequeues the oldest value.
     pub fn dequeue(&mut self) -> Option<u64> {
-        self.q.inner.lock().pop_front()
+        self.q.inner.lock().unwrap().pop_front()
     }
 }
 

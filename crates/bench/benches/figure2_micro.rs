@@ -8,8 +8,8 @@
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wfq_baselines::{BenchQueue, CcQueue, FaaBench, Lcrq, MsQueue, MutexQueue, QueueHandle, Wf0};
+use wfq_bench::microbench::Criterion;
 use wfq_sync::XorShift64;
 use wfqueue::RawQueue;
 
@@ -89,10 +89,9 @@ fn bench_pairs(c: &mut Criterion) {
     for threads in [1usize, 2, 4] {
         macro_rules! case {
             ($q:ty) => {
-                g.bench_with_input(
-                    BenchmarkId::new(<$q as BenchQueue>::NAME, threads),
-                    &threads,
-                    |b, &t| b.iter_custom(|iters| (0..iters).map(|_| pairs_burst::<$q>(t, OPS)).sum()),
+                g.bench_function(
+                    &format!("{}/{}", <$q as BenchQueue>::NAME, threads),
+                    |b| b.iter_custom(|iters| (0..iters).map(|_| pairs_burst::<$q>(threads, OPS)).sum()),
                 );
             };
         }
@@ -114,10 +113,9 @@ fn bench_fifty(c: &mut Criterion) {
     for threads in [1usize, 4] {
         macro_rules! case {
             ($q:ty) => {
-                g.bench_with_input(
-                    BenchmarkId::new(<$q as BenchQueue>::NAME, threads),
-                    &threads,
-                    |b, &t| b.iter_custom(|iters| (0..iters).map(|_| fifty_burst::<$q>(t, OPS)).sum()),
+                g.bench_function(
+                    &format!("{}/{}", <$q as BenchQueue>::NAME, threads),
+                    |b| b.iter_custom(|iters| (0..iters).map(|_| fifty_burst::<$q>(threads, OPS)).sum()),
                 );
             };
         }
@@ -132,5 +130,8 @@ fn bench_fifty(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_pairs, bench_fifty);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new();
+    bench_pairs(&mut c);
+    bench_fifty(&mut c);
+}

@@ -10,8 +10,8 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use wfq_baselines::{BenchQueue, MsQueue, MsQueueEbr, QueueHandle};
+use wfq_baselines::{BenchQueue, MsQueue, MsQueueEbr};
+use wfq_bench::microbench::Criterion;
 use wfq_reclaim::{ebr::EbrDomain, Domain};
 use wfqueue::RawQueue;
 
@@ -70,5 +70,8 @@ fn bench_queues_under_schemes(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_protection_primitives, bench_queues_under_schemes);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new();
+    bench_protection_primitives(&mut c);
+    bench_queues_under_schemes(&mut c);
+}

@@ -12,6 +12,8 @@
 
 use wfq_harness::topology;
 
+pub mod microbench;
+
 /// Tiny argv parser: `--key value` and bare flags.
 #[derive(Debug, Default)]
 pub struct Args {

@@ -1,0 +1,174 @@
+//! Minimal self-contained micro-benchmark runner.
+//!
+//! The repository must build with no external crates, so the `benches/`
+//! targets use this instead of Criterion. The API is deliberately a small
+//! subset of Criterion's (`group` / `bench_function` / `Bencher::iter`),
+//! which kept the bench sources close to their original shape.
+//!
+//! Methodology: each benchmark is auto-calibrated (iteration count doubled
+//! until one batch exceeds the per-sample budget), then `sample_size`
+//! batches are timed and the per-iteration median, minimum, and mean are
+//! reported. The median is the headline number — it is robust against
+//! preemption outliers, which matters in shared CI containers.
+
+use std::time::{Duration, Instant};
+
+/// Top-level runner; collects groups and prints results to stdout.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Creates a runner with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> Group {
+        println!("group {name}");
+        Group {
+            name: name.to_string(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct Group {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+/// Per-iteration timing statistics of one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Median ns/iter across samples.
+    pub median_ns: f64,
+    /// Fastest sample's ns/iter.
+    pub min_ns: f64,
+    /// Mean ns/iter across samples.
+    pub mean_ns: f64,
+    /// Iterations per timed batch after calibration.
+    pub iters_per_sample: u64,
+}
+
+impl Group {
+    /// Number of timed samples to collect (Criterion-compatible setter).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Total measurement budget, split across samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its statistics.
+    pub fn bench_function<F>(&mut self, label: &str, mut f: F) -> Stats
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let budget = self.measurement_time.as_nanos() as u64 / self.sample_size as u64;
+
+        // Calibrate: double the batch size until one batch fills its budget
+        // (capped to keep pathological fast paths from overflowing).
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed.as_nanos() as u64 >= budget || iters >= 1 << 30 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+
+        let mut per_iter: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let stats = Stats {
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+            mean_ns: per_iter.iter().sum::<f64>() / per_iter.len() as f64,
+            iters_per_sample: iters,
+        };
+        println!(
+            "  {}/{label}: median {:.1} ns/iter (min {:.1}, mean {:.1}, {} samples x {} iters)",
+            self.name, stats.median_ns, stats.min_ns, stats.mean_ns, self.sample_size, iters,
+        );
+        stats
+    }
+
+    /// Ends the group (parity with Criterion's API; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; times one batch.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Lets the closure time itself: receives the iteration count and
+    /// returns the total elapsed time (Criterion's `iter_custom`).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_and_stats_are_sane() {
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("selftest");
+        g.sample_size(5).measurement_time(Duration::from_millis(20));
+        let s = g.bench_function("noop", |b| b.iter(|| 1u64 + 1));
+        g.finish();
+        assert!(s.median_ns >= 0.0);
+        assert!(s.min_ns <= s.mean_ns * 1.0001);
+        assert!(s.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn iter_custom_reports_what_the_closure_measured() {
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("selftest");
+        g.sample_size(3).measurement_time(Duration::from_millis(5));
+        let s = g.bench_function("custom", |b| {
+            b.iter_custom(|iters| Duration::from_nanos(100 * iters))
+        });
+        g.finish();
+        assert!((s.median_ns - 100.0).abs() < 1.0);
+    }
+}

@@ -90,12 +90,12 @@ impl Cell {
     }
 
     /// `(enq: ⊥e → ⊤e)` — seal the cell against future enqueue helpers
-    /// (paper line 111).
+    /// (paper line 111). True if this call performed the seal.
     #[inline]
-    pub fn try_seal_enq(&self) {
-        let _ = self
-            .enq
-            .compare_exchange(ENQ_BOTTOM, ENQ_TOP, Ordering::SeqCst, Ordering::SeqCst);
+    pub fn try_seal_enq(&self) -> bool {
+        self.enq
+            .compare_exchange(ENQ_BOTTOM, ENQ_TOP, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
     }
 
     #[inline]

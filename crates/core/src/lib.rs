@@ -88,3 +88,36 @@ pub const DEFAULT_SEGMENT_SIZE: usize = 1024;
 
 /// Default fast-path patience (the paper's WF-10 configuration).
 pub const DEFAULT_PATIENCE: u32 = 10;
+
+/// Every named fault-injection point compiled into this crate
+/// (`wfq_sync::inject!` sites). The schedule fuzzer asserts its sweep
+/// drives each of these at least once; keep this list in sync with the
+/// `inject!("...")` calls in `raw.rs` and `reclaim.rs`.
+///
+/// Points are named `<protocol>::<window>` after the race window they sit
+/// in, not the function they appear in (see DESIGN.md).
+pub const FAULT_POINTS: &[&str] = &[
+    // raw.rs — enqueue (Listings 2–3).
+    "enq_fast::post_faa",
+    "enq_slow::request_published",
+    "enq_slow::cell_reserved",
+    "enq_slow::pre_commit",
+    "help_enq::pre_reserve",
+    "help_enq::top_race",
+    "help_enq::pre_complete",
+    // raw.rs — dequeue (Listing 4).
+    "deq::hazard_published",
+    "deq_fast::post_faa",
+    "deq_slow::request_published",
+    "help_deq::hazard_adopted",
+    "help_deq::candidate_scan",
+    "help_deq::pre_announce",
+    "help_deq::pre_complete",
+    "advance_index::pre_cas",
+    // reclaim.rs — segment reclamation (Listing 5).
+    "reclaim::elected",
+    "reclaim::forward_scan",
+    "reclaim::pre_update_cas",
+    "reclaim::reverse_scan",
+    "reclaim::pre_free",
+];

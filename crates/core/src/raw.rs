@@ -16,7 +16,7 @@
 use core::sync::atomic::{fence, AtomicI64, AtomicPtr, AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use wfq_sync::CachePadded;
+use wfq_sync::{inject, CachePadded};
 
 use crate::cell::{
     is_valid_value, Cell, DEQ_BOTTOM, ENQ_BOTTOM, ENQ_TOP, VAL_BOTTOM, VAL_TOP,
@@ -217,6 +217,15 @@ impl<const N: usize> RawQueue<N> {
         )
     }
 
+    /// Snapshot of `I`, the oldest live segment's id — or `-1` while a
+    /// cleaner (or a registration) holds the reclamation token (Listing 5
+    /// line 206). Diagnostics only: the value may be stale by the time the
+    /// caller looks at it, but it is monotone while the token is free, so
+    /// tests can assert reclamation never ran past a pinned hazard.
+    pub fn oldest_segment_id(&self) -> i64 {
+        self.oldest_id.load(Ordering::SeqCst)
+    }
+
     /// Approximate number of enqueued-but-unconsumed values.
     ///
     /// `T − H` counts *attempts*, not successes — failed fast-path
@@ -286,6 +295,7 @@ impl<const N: usize> RawQueue<N> {
     /// success).
     fn enq_fast(&self, h: &HandleNode<N>, v: u64, cell_id: &mut u64) -> bool {
         let i = self.tail_index.fetch_add(1, Ordering::SeqCst);
+        inject!("enq_fast::post_faa");
         *cell_id = i;
         // SAFETY: h.tail is ≥ the hazard this thread published and ≤ i/N
         // (it only ever advances through cells this thread obtained by FAA).
@@ -299,6 +309,7 @@ impl<const N: usize> RawQueue<N> {
     fn enq_slow(&self, h: &HandleNode<N>, v: u64, cell_id: u64) -> u64 {
         let r = &h.enq_req;
         r.publish(v, cell_id); // line 72
+        inject!("enq_slow::request_published");
 
         // Line 75: traverse with a local tail pointer because the commit
         // below may need to revisit an *earlier* cell.
@@ -312,18 +323,23 @@ impl<const N: usize> RawQueue<N> {
             // Lines 80–84, Dijkstra's protocol: reserve first, then check
             // that no dequeuer poisoned the cell before the reservation.
             if c.try_reserve_enq(r as *const _ as *mut _) && c.load_val() == VAL_BOTTOM {
+                inject!("enq_slow::cell_reserved");
                 r.try_claim(cell_id, i);
                 // Invariant: request claimed (even if our claim CAS lost).
                 break;
             }
             // Line 85.
             if !r.state().pending {
+                // A helper finished the request before any reservation of
+                // ours stuck — the helping scheme's raison d'être.
+                HandleStats::bump(&h.stats.enq_slow_helped);
                 break;
             }
         }
 
         // Lines 87–88: request is claimed for some cell; find it and commit.
         let id = r.state().index;
+        inject!("enq_slow::pre_commit");
         // SAFETY: id ≥ cell_id ≥ (*h.tail).id * N, all hazard-protected.
         let c = unsafe { &*find_cell(&h.tail, id, &h.spare, &h.stats.segs_alloc) };
         self.enq_commit(c, v, id);
@@ -368,6 +384,7 @@ impl<const N: usize> RawQueue<N> {
             // Lines 101–108.
             // SAFETY: as above; the request lives inside the peer node.
             let r = unsafe { &(*peer).enq_req } as *const _ as *mut _;
+            inject!("help_enq::pre_reserve");
             if state.pending && state.index <= i && !c.try_reserve_enq(r) {
                 // Reservation failed: remember the request so we keep
                 // helping this peer next time (Invariant 2).
@@ -384,7 +401,10 @@ impl<const N: usize> RawQueue<N> {
             }
             // Lines 109–111: seal the cell if no request landed.
             if c.load_enq() == ENQ_BOTTOM {
-                c.try_seal_enq();
+                inject!("help_enq::top_race");
+                if c.try_seal_enq() {
+                    HandleStats::bump(&h.stats.help_enq_seal);
+                }
             }
         }
         // Invariant: c.enq is a request or ⊤e.
@@ -413,7 +433,9 @@ impl<const N: usize> RawQueue<N> {
         {
             // Line 123–126: we claimed it for this cell, or someone else
             // claimed it for this cell and hasn't committed yet.
+            inject!("help_enq::pre_complete");
             self.enq_commit(c, v, i);
+            HandleStats::bump(&h.stats.help_enq_commit);
         }
         // Line 127.
         match c.load_val() {
@@ -428,6 +450,7 @@ impl<const N: usize> RawQueue<N> {
 
     pub(crate) fn dequeue_internal(&self, h: &HandleNode<N>) -> Option<u64> {
         h.publish_hazard(h.head_seg_id.load(Ordering::Relaxed) as i64);
+        inject!("deq::hazard_published");
 
         // Lines 129–133.
         let mut cell_id = 0;
@@ -494,6 +517,7 @@ impl<const N: usize> RawQueue<N> {
     /// Lines 140–148.
     fn deq_fast(&self, h: &HandleNode<N>) -> FastDeq {
         let i = self.head_index.fetch_add(1, Ordering::SeqCst);
+        inject!("deq_fast::post_faa");
         // SAFETY: h.head hazard-protected, ≤ i/N.
         let c = unsafe { &*find_cell(&h.head, i, &h.spare, &h.stats.segs_alloc) };
         match self.help_enq(h, c, i) {
@@ -508,6 +532,7 @@ impl<const N: usize> RawQueue<N> {
     fn deq_slow(&self, h: &HandleNode<N>, cid: u64) -> (Option<u64>, u64) {
         let r = &h.deq_req;
         r.publish(cid); // line 151
+        inject!("deq_slow::request_published");
         self.help_deq(h, h); // line 152
         // Lines 153–156: the request's announced cell holds the result.
         let i = r.state().index;
@@ -515,7 +540,12 @@ impl<const N: usize> RawQueue<N> {
         let c = unsafe { &*find_cell(&h.head, i, &h.spare, &h.stats.segs_alloc) };
         let v = c.load_val();
         advance_index(&self.head_index, i + 1);
-        (if v == VAL_TOP { None } else { Some(v) }, i)
+        if v == VAL_TOP {
+            HandleStats::bump(&h.stats.deq_slow_empty);
+            (None, i)
+        } else {
+            (Some(v), i)
+        }
     }
 
     // ------------------------------------------------------------------
@@ -539,6 +569,10 @@ impl<const N: usize> RawQueue<N> {
         h.hzd_id
             .store(helpee.hzd_id.load(Ordering::SeqCst), Ordering::SeqCst);
         fence(Ordering::SeqCst);
+        // The hazard "backward jump": this thread's published hazard may
+        // now be *older* than where a concurrent cleaner's forward pass
+        // already scanned — exactly what the reverse pass must catch.
+        inject!("help_deq::hazard_adopted");
         s = r.state(); // line 165: must re-read after hazard adoption
 
         let mut prior = id; // line 166
@@ -555,6 +589,7 @@ impl<const N: usize> RawQueue<N> {
             // scanning on until a candidate turns up.
             while cand == 0 && s.pending && s.index == prior {
                 i += 1;
+                inject!("help_deq::candidate_scan");
                 // SAFETY: hc starts at a hazard-protected segment ≤ i/N.
                 let c = unsafe { &*find_cell(&hc, i, &h.spare, &h.stats.segs_alloc) };
                 match self.help_enq(h, c, i) {
@@ -571,7 +606,10 @@ impl<const N: usize> RawQueue<N> {
                 // candidate is itself the announced-and-stolen cell; the
                 // authors' released C code resets it here (`new = 0`), and
                 // so do we (erratum documented in DESIGN.md).
-                r.cas_state((true, prior), (true, cand));
+                inject!("help_deq::pre_announce");
+                if r.cas_state((true, prior), (true, cand)) {
+                    HandleStats::bump(&h.stats.help_deq_announce);
+                }
                 s = r.state();
                 cand = 0;
             }
@@ -589,7 +627,11 @@ impl<const N: usize> RawQueue<N> {
                 || c.try_claim_deq_slow(r_ptr)
                 || c.load_deq() == r_ptr
             {
-                r.cas_state((true, s.index), (false, s.index)); // line 196
+                inject!("help_deq::pre_complete");
+                if r.cas_state((true, s.index), (false, s.index)) {
+                    // line 196
+                    HandleStats::bump(&h.stats.help_deq_complete);
+                }
                 return;
             }
             // Lines 200–204: prepare the next round.
@@ -606,6 +648,7 @@ impl<const N: usize> RawQueue<N> {
 fn advance_index(e: &AtomicU64, cid: u64) {
     let mut cur = e.load(Ordering::SeqCst);
     while cur < cid {
+        inject!("advance_index::pre_cas");
         match e.compare_exchange_weak(cur, cid, Ordering::SeqCst, Ordering::SeqCst) {
             Ok(_) => break,
             Err(seen) => cur = seen,

@@ -32,6 +32,8 @@
 
 use core::sync::atomic::{fence, AtomicPtr, Ordering};
 
+use wfq_sync::inject;
+
 use crate::handle::{HandleNode, NO_HAZARD};
 use crate::raw::RawQueue;
 use crate::segment::Segment;
@@ -89,6 +91,7 @@ impl<const N: usize> RawQueue<N> {
             return;
         }
         let oid = oid as u64;
+        inject!("reclaim::elected");
         HandleStats::bump(&h.stats.cleanups);
 
         // Line 227: `start` is the current front (id == oid); nothing can
@@ -111,14 +114,15 @@ impl<const N: usize> RawQueue<N> {
         let self_ptr = h as *const HandleNode<N> as *mut HandleNode<N>;
         let mut p = self_ptr;
         loop {
+            inject!("reclaim::forward_scan");
             // SAFETY: ring nodes live for the queue's lifetime.
             let pn = unsafe { &*p };
             verify(&mut boundary, pn.hzd_id.load(Ordering::SeqCst)); // line 229
-            self.update_pointer(&pn.head, &mut boundary, pn, start, oid); // line 230
+            self.update_pointer(&pn.head, &mut boundary, pn, start, oid, &h.stats); // line 230
             if boundary <= oid {
                 break;
             }
-            self.update_pointer(&pn.tail, &mut boundary, pn, start, oid); // line 231
+            self.update_pointer(&pn.tail, &mut boundary, pn, start, oid, &h.stats); // line 231
             if boundary <= oid {
                 break;
             }
@@ -135,19 +139,28 @@ impl<const N: usize> RawQueue<N> {
             if boundary <= oid {
                 break;
             }
+            inject!("reclaim::reverse_scan");
+            let before = boundary;
             // SAFETY: as above.
             verify(&mut boundary, unsafe { (*p).hzd_id.load(Ordering::SeqCst) });
+            if boundary < before {
+                // The reverse pass caught a backward-jumped hazard the
+                // forward pass missed — the window this pass exists for.
+                HandleStats::bump(&h.stats.reclaim_backward_clamp);
+            }
         }
 
         // Line 236 (fixed per the released C code): nothing reclaimable —
         // put the token back unchanged.
         if boundary <= oid {
+            HandleStats::bump(&h.stats.reclaim_noop);
             self.oldest_id.store(oid as i64, Ordering::Release);
             return;
         }
 
         // Lines 237–238: publish the new front, release the token at the
         // new id, free the prefix.
+        inject!("reclaim::pre_free");
         let new_front = resolve(start, boundary);
         self.q.store(new_front, Ordering::Release);
         self.oldest_id.store(boundary as i64, Ordering::Release);
@@ -167,12 +180,14 @@ impl<const N: usize> RawQueue<N> {
         p: &HandleNode<N>,
         start: *mut Segment<N>,
         oid: u64,
+        cleaner: &crate::stats::HandleStats,
     ) {
         let n = from.load(Ordering::Acquire);
         // SAFETY: thread pointers always reference live (≥ oid) segments.
         let n_id = unsafe { (*n).id() };
         if n_id < *boundary {
             let to = resolve(start, *boundary);
+            inject!("reclaim::pre_update_cas");
             if let Err(cur) = from.compare_exchange(n, to, Ordering::SeqCst, Ordering::SeqCst) {
                 // Line 242–245: the owner moved it concurrently; if the new
                 // position is still behind the boundary, the boundary must
@@ -181,6 +196,7 @@ impl<const N: usize> RawQueue<N> {
                 let cur_id = unsafe { (*cur).id() };
                 if cur_id < *boundary {
                     *boundary = cur_id;
+                    HandleStats::bump(&cleaner.reclaim_conceded);
                 }
             }
             // Line 246: Dijkstra protocol — after the CAS, re-verify the

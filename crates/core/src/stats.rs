@@ -23,6 +23,16 @@ pub(crate) struct HandleStats {
     pub cleanups: AtomicU64,
     pub segs_alloc: AtomicU64,
     pub segs_freed: AtomicU64,
+    // Protocol-branch coverage (rare windows; see QueueStats field docs).
+    pub enq_slow_helped: AtomicU64,
+    pub help_enq_commit: AtomicU64,
+    pub help_enq_seal: AtomicU64,
+    pub deq_slow_empty: AtomicU64,
+    pub help_deq_announce: AtomicU64,
+    pub help_deq_complete: AtomicU64,
+    pub reclaim_conceded: AtomicU64,
+    pub reclaim_backward_clamp: AtomicU64,
+    pub reclaim_noop: AtomicU64,
 }
 
 impl HandleStats {
@@ -55,6 +65,36 @@ pub struct QueueStats {
     pub segs_alloc: u64,
     /// Segments reclaimed by cleanup.
     pub segs_freed: u64,
+    /// Slow-path enqueues completed *by a helper* (the request left the
+    /// pending state without this thread's own claim landing) — the
+    /// Kogan–Petrank helping scheme actually finishing someone's work.
+    pub enq_slow_helped: u64,
+    /// `help_enq` calls that committed a peer's value into a cell
+    /// (Listing 3 lines 123–126, the lost-reservation completion race).
+    pub help_enq_commit: u64,
+    /// Cells sealed with ⊤e because no enqueue request could use them
+    /// (Listing 3 lines 109–111).
+    pub help_enq_seal: u64,
+    /// Slow-path dequeues that returned EMPTY (the announced cell
+    /// witnessed `T ≤ i` — Listing 4's rarest exit).
+    pub deq_slow_empty: u64,
+    /// Candidate cells announced into a dequeue request by `help_deq`
+    /// (Listing 4 lines 181–185 CAS won).
+    pub help_deq_announce: u64,
+    /// Dequeue requests completed by `help_deq`'s final state transition
+    /// (Listing 4 line 196 CAS won).
+    pub help_deq_complete: u64,
+    /// Reclamation boundary concessions: `update` lost its pointer CAS to
+    /// the owner and lowered the boundary (Listing 5 lines 242–245).
+    pub reclaim_conceded: u64,
+    /// Backward-pass hazard clamps: the reverse re-verification scan
+    /// caught a hazard "backward jump" behind the forward pass and
+    /// lowered the boundary (Listing 5 line 235 — the subtlest window in
+    /// the reclaimer).
+    pub reclaim_backward_clamp: u64,
+    /// Elected cleanups that found nothing reclaimable after scanning and
+    /// restored `I` unchanged (the paper's erratum path, line 236).
+    pub reclaim_noop: u64,
 }
 
 impl QueueStats {
@@ -69,6 +109,15 @@ impl QueueStats {
         self.cleanups += h.cleanups.load(Ordering::Relaxed);
         self.segs_alloc += h.segs_alloc.load(Ordering::Relaxed);
         self.segs_freed += h.segs_freed.load(Ordering::Relaxed);
+        self.enq_slow_helped += h.enq_slow_helped.load(Ordering::Relaxed);
+        self.help_enq_commit += h.help_enq_commit.load(Ordering::Relaxed);
+        self.help_enq_seal += h.help_enq_seal.load(Ordering::Relaxed);
+        self.deq_slow_empty += h.deq_slow_empty.load(Ordering::Relaxed);
+        self.help_deq_announce += h.help_deq_announce.load(Ordering::Relaxed);
+        self.help_deq_complete += h.help_deq_complete.load(Ordering::Relaxed);
+        self.reclaim_conceded += h.reclaim_conceded.load(Ordering::Relaxed);
+        self.reclaim_backward_clamp += h.reclaim_backward_clamp.load(Ordering::Relaxed);
+        self.reclaim_noop += h.reclaim_noop.load(Ordering::Relaxed);
     }
 
     /// Total completed enqueues.

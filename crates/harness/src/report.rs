@@ -1,10 +1,8 @@
 //! Result series and renderers (markdown tables for EXPERIMENTS.md, CSV
 //! for plotting).
 
-use serde::Serialize;
-
 /// One (thread count → throughput) point of a Figure 2 line.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SeriesPoint {
     /// Concurrency level.
     pub threads: usize,
@@ -15,7 +13,7 @@ pub struct SeriesPoint {
 }
 
 /// One queue's line in a figure.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Queue display name.
     pub name: String,

@@ -81,15 +81,40 @@ impl PlatformInfo {
     }
 }
 
+// Minimal libc surface declared directly (the build must work without the
+// `libc` crate): `cpu_set_t` is a 1024-bit mask on Linux, and both symbols
+// live in the libc every Rust binary already links against.
+#[cfg(target_os = "linux")]
+mod ffi {
+    /// `CPU_SETSIZE / (8 * sizeof(unsigned long))` on 64-bit Linux.
+    pub const CPU_SET_WORDS: usize = 1024 / 64;
+
+    extern "C" {
+        pub fn sysconf(name: i32) -> i64;
+        pub fn sched_setaffinity(
+            pid: i32,
+            cpusetsize: usize,
+            mask: *const u64,
+        ) -> i32;
+    }
+
+    /// `_SC_NPROCESSORS_ONLN` on Linux.
+    pub const SC_NPROCESSORS_ONLN: i32 = 84;
+}
+
 /// Number of online logical CPUs.
 pub fn num_cpus() -> usize {
-    // SAFETY: plain libc query, no preconditions.
-    let n = unsafe { libc::sysconf(libc::_SC_NPROCESSORS_ONLN) };
-    if n <= 0 {
-        1
-    } else {
-        n as usize
+    #[cfg(target_os = "linux")]
+    {
+        // SAFETY: plain libc query, no preconditions.
+        let n = unsafe { ffi::sysconf(ffi::SC_NPROCESSORS_ONLN) };
+        if n > 0 {
+            return n as usize;
+        }
     }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Pins the calling thread to `cpu mod num_cpus` — the paper's compact
@@ -100,12 +125,20 @@ pub fn num_cpus() -> usize {
 pub fn pin_to_cpu(cpu: usize) -> bool {
     let ncpu = num_cpus();
     let target = cpu % ncpu;
-    // SAFETY: cpu_set_t is a plain bitmask; zeroed is its empty value.
-    unsafe {
-        let mut set: libc::cpu_set_t = core::mem::zeroed();
-        libc::CPU_ZERO(&mut set);
-        libc::CPU_SET(target, &mut set);
-        libc::sched_setaffinity(0, core::mem::size_of::<libc::cpu_set_t>(), &set) == 0
+    #[cfg(target_os = "linux")]
+    {
+        let mut set = [0u64; ffi::CPU_SET_WORDS];
+        set[target / 64] |= 1u64 << (target % 64);
+        // SAFETY: the mask is a plain bitmask of the documented size; pid 0
+        // means the calling thread.
+        return unsafe {
+            ffi::sched_setaffinity(0, core::mem::size_of_val(&set), set.as_ptr()) == 0
+        };
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = target;
+        false
     }
 }
 

@@ -14,12 +14,16 @@
 //!   off the allocator and out of the measured path.
 //! - [`SpinDelay`](delay::SpinDelay): a calibrated busy-wait used to
 //!   reproduce the paper's 50–100 ns inter-operation "work".
+//! - [`fault`]: the deterministic fault-injection layer behind the
+//!   [`inject!`] macro — a compiled-out no-op by default, a seeded
+//!   schedule perturbator under `--features fault-injection`.
 
 #![warn(missing_docs)]
 
 pub mod backoff;
 pub mod delay;
 pub mod dwcas;
+pub mod fault;
 pub mod pad;
 pub mod rng;
 

@@ -1,0 +1,507 @@
+//! Schedule fuzzing and targeted fault-injection tests.
+//!
+//! The interesting code in this repository — the Kogan–Petrank helping
+//! slow paths and the reclaimer's re-verification windows — only runs when
+//! a race is *lost*, which an unperturbed test almost never arranges. These
+//! tests drive those windows deliberately:
+//!
+//! - a seeded **schedule fuzzer** replays small workloads under many
+//!   deterministic [`FaultPlan`]s, certifies every recorded history with
+//!   the linearizability checker, and asserts the sweep reached every
+//!   named injection point (`wfqueue::FAULT_POINTS`);
+//! - a **negative control** proves the certification step has teeth by
+//!   feeding it a deliberately broken (LIFO) "queue";
+//! - a **targeted regression** parks a dequeuer inside the hazard window
+//!   of Listing 5 and proves the cleaner refuses to reclaim past it.
+//!
+//! Everything here is deterministic given a seed. On failure the seed is
+//! part of the panic message; rerun just that schedule with
+//! `WFQ_FUZZ_SEED=<seed> cargo test -p wfq-integration --features
+//! fault-injection fuzz_sweep`.
+//!
+//! The file compiles without the feature too, so `cargo test` still
+//! type-checks it; only the trivial build-mode guard runs there.
+
+/// The injection layer must mirror the cargo feature exactly — this is the
+/// run-time half of the zero-overhead guard (the compile-time half is the
+/// `const` proof in `wfq_sync::fault`; the price check is in the
+/// `primitives` bench).
+#[test]
+fn injection_layer_matches_build_mode() {
+    assert_eq!(wfq_sync::fault::ENABLED, cfg!(feature = "fault-injection"));
+    // The macro is an expression in both builds.
+    let _: () = wfq_sync::inject!("fault_schedules::build_mode_probe");
+}
+
+#[cfg(feature = "fault-injection")]
+mod fuzz {
+    use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    use wfq_checker::{check_linearizable, check_necessary, CheckResult, OpKind, Recorder};
+    use wfq_sync::fault::{self, FaultPlan};
+    use wfq_sync::inject;
+    use wfqueue::{Config, RawQueue};
+
+    /// Cells per segment in fuzzed queues: small enough that a few dozen
+    /// operations cross segment boundaries and exercise reclamation.
+    const SEG: usize = 16;
+
+    /// Distinct fuzz schedules per sweep. Each costs a few milliseconds;
+    /// the CI fuzz job runs the same fixed range, so failures there are
+    /// reproducible locally by seed.
+    const SWEEP_SEEDS: u64 = 48;
+
+    /// Value namespace: producer `t` enqueues `t * VALS_PER_THREAD + k + 1`
+    /// so every enqueued value is unique and nonzero.
+    const VALS_PER_THREAD: u64 = 12;
+
+    fn thread_plan(seed: u64, thread: u64, intensity: u32) -> FaultPlan {
+        // Golden-ratio salt: distinct deterministic stream per thread.
+        FaultPlan::fuzz(seed ^ thread.wrapping_mul(0x9E37_79B9_7F4A_7C15), intensity)
+    }
+
+    /// One fuzzed schedule: `producers` + `consumers` threads hammer a
+    /// fresh queue under per-thread seeded plans; returns the recorded
+    /// history already certified by the *necessary-conditions* checker,
+    /// and runs the exhaustive checker when the history is small enough.
+    fn run_schedule(seed: u64, cfg: Config, producers: u64, consumers: u64) {
+        let q = RawQueue::<SEG>::with_config(cfg);
+        let rec = Recorder::new();
+        // Consumers poll a little more than was produced so EMPTY returns
+        // (and the deq_slow EMPTY exit) are part of every history.
+        let deq_attempts = (producers * VALS_PER_THREAD) / consumers + 4;
+
+        std::thread::scope(|s| {
+            for t in 0..producers {
+                let q = &q;
+                let mut tr = rec.thread();
+                s.spawn(move || {
+                    fault::with_plan(thread_plan(seed, t, 70), || {
+                        let mut h = q.register();
+                        for k in 0..VALS_PER_THREAD {
+                            let v = t * VALS_PER_THREAD + k + 1;
+                            let inv = tr.invoke();
+                            h.enqueue(v);
+                            tr.record(OpKind::Enqueue(v), inv);
+                        }
+                    });
+                });
+            }
+            for t in 0..consumers {
+                let q = &q;
+                let mut tr = rec.thread();
+                s.spawn(move || {
+                    fault::with_plan(thread_plan(seed, producers + t, 70), || {
+                        let mut h = q.register();
+                        for _ in 0..deq_attempts {
+                            let inv = tr.invoke();
+                            let got = h.dequeue();
+                            tr.record(OpKind::Dequeue(got), inv);
+                        }
+                    });
+                });
+            }
+        });
+
+        let h = rec.finish();
+        if let Err(v) = check_necessary(&h) {
+            panic!(
+                "necessary-condition violation under fuzz schedule: {v:?}\n\
+                 reproduce: WFQ_FUZZ_SEED={seed} cargo test -p wfq-integration \
+                 --features fault-injection fuzz_sweep"
+            );
+        }
+        match check_linearizable(&h, 4_000_000) {
+            CheckResult::NotLinearizable => panic!(
+                "history not linearizable under fuzz schedule\n\
+                 reproduce: WFQ_FUZZ_SEED={seed} cargo test -p wfq-integration \
+                 --features fault-injection fuzz_sweep"
+            ),
+            // Linearizable, or the state cap was hit after the linear-time
+            // necessary conditions already passed — both acceptable.
+            _ => {}
+        }
+    }
+
+    /// Schedule shapes the sweep cycles through. The patience-0 shapes
+    /// force the wait-free slow paths (every lost fast-path race enlists
+    /// helpers); the `max_garbage(1)` shapes force a reclamation pass at
+    /// every segment retirement.
+    fn schedule_for(seed: u64) -> (Config, u64, u64) {
+        match seed % 4 {
+            // Slow-path stress: zero patience, consumer-heavy (cells get
+            // ⊤-poisoned under the enqueuers, forcing enq_slow).
+            0 => (Config::wf0().with_max_garbage(1), 2, 3),
+            // Reclamation stress: default patience, tiny garbage bound.
+            1 => (Config::wf10().with_max_garbage(1), 3, 2),
+            // Mixed: low patience, balanced.
+            2 => (Config::default().with_patience(1).with_max_garbage(2), 2, 2),
+            // Producer-heavy WF-0: deep queues, segment turnover.
+            _ => (Config::wf0().with_max_garbage(2), 3, 2),
+        }
+    }
+
+    /// The tentpole sweep: many seeded schedules, every history certified,
+    /// and — because the coverage map is process-global — a final assert
+    /// that the sweep reached **every** named injection point in the core
+    /// crate at least once.
+    #[test]
+    fn fuzz_sweep_certifies_histories_and_covers_every_point() {
+        // A pinned seed (from a failure message) replays one schedule.
+        if let Ok(s) = std::env::var("WFQ_FUZZ_SEED") {
+            let seed: u64 = s.parse().expect("WFQ_FUZZ_SEED must be a u64");
+            let (cfg, p, c) = schedule_for(seed);
+            run_schedule(seed, cfg, p, c);
+            return;
+        }
+        for seed in 0..SWEEP_SEEDS {
+            let (cfg, p, c) = schedule_for(seed);
+            run_schedule(seed, cfg, p, c);
+        }
+        let cov = fault::coverage();
+        let missed: Vec<&str> = wfqueue::FAULT_POINTS
+            .iter()
+            .copied()
+            .filter(|p| cov.get(p).copied().unwrap_or(0) == 0)
+            .collect();
+        assert!(
+            missed.is_empty(),
+            "fuzz sweep never reached injection points {missed:?}; \
+             coverage: {cov:#?}"
+        );
+    }
+
+    /// The branch counters behind the paper's Table 2 extension: a
+    /// slow-path-heavy schedule must light up the helping-protocol
+    /// counters, proving the sweep exercises the *branches*, not merely
+    /// the straight-line code around them.
+    #[test]
+    fn slow_path_branch_counters_are_driven() {
+        let mut agg = wfqueue::QueueStats::default();
+        for seed in 1000..1000 + SWEEP_SEEDS {
+            let q = RawQueue::<SEG>::with_config(Config::wf0().with_max_garbage(1));
+            std::thread::scope(|s| {
+                for t in 0..4u64 {
+                    let q = &q;
+                    s.spawn(move || {
+                        fault::with_plan(thread_plan(seed, t, 80), || {
+                            let mut h = q.register();
+                            for k in 0..24 {
+                                if (k + t) % 2 == 0 {
+                                    h.enqueue(t * 1000 + k + 1);
+                                } else {
+                                    let _ = h.dequeue();
+                                }
+                            }
+                        });
+                    });
+                }
+            });
+            let s = q.stats();
+            agg.enq_slow += s.enq_slow;
+            agg.deq_slow += s.deq_slow;
+            agg.help_enq_seal += s.help_enq_seal;
+            agg.help_deq_announce += s.help_deq_announce;
+            agg.help_deq_complete += s.help_deq_complete;
+            agg.cleanups += s.cleanups;
+            agg.reclaim_noop += s.reclaim_noop;
+            agg.segs_freed += s.segs_freed;
+        }
+        assert!(agg.enq_slow > 0, "no slow-path enqueue in the sweep: {agg:?}");
+        assert!(agg.deq_slow > 0, "no slow-path dequeue in the sweep: {agg:?}");
+        assert!(agg.help_enq_seal > 0, "no cell ever ⊤e-sealed: {agg:?}");
+        assert!(
+            agg.help_deq_announce > 0,
+            "help_deq never announced a candidate: {agg:?}"
+        );
+        assert!(
+            agg.help_deq_complete > 0,
+            "help_deq never completed a request: {agg:?}"
+        );
+        assert!(agg.cleanups > 0, "reclamation never ran: {agg:?}");
+        assert!(agg.segs_freed > 0, "reclamation never freed: {agg:?}");
+    }
+
+    /// Baselines ride the same machinery: fuzz the LCRQ and MS-Queue
+    /// hazard-pointer windows, check conservation, assert their exported
+    /// point list is fully covered.
+    #[test]
+    fn baseline_sweep_covers_baseline_points() {
+        use wfq_baselines::{Lcrq, MsQueue, QueueHandle};
+
+        fn drive<Q: wfq_baselines::BenchQueue>(q: &Q, seed: u64) {
+            let total = AtomicU64::new(0);
+            let sum = AtomicU64::new(0);
+            const PER: u64 = 100;
+            std::thread::scope(|s| {
+                for t in 0..2u64 {
+                    let q = &q;
+                    s.spawn(move || {
+                        fault::with_plan(thread_plan(seed, t, 60), || {
+                            let mut h = q.register();
+                            for k in 0..PER {
+                                h.enqueue(t * PER + k + 1);
+                            }
+                        });
+                    });
+                }
+                for t in 0..2u64 {
+                    let q = &q;
+                    let (total, sum) = (&total, &sum);
+                    s.spawn(move || {
+                        fault::with_plan(thread_plan(seed, 2 + t, 60), || {
+                            let mut h = q.register();
+                            while total.load(Ordering::Relaxed) < 2 * PER {
+                                if let Some(v) = h.dequeue() {
+                                    sum.fetch_add(v, Ordering::Relaxed);
+                                    total.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        });
+                    });
+                }
+            });
+            assert_eq!(
+                sum.load(Ordering::Relaxed),
+                (1..=2 * PER).sum::<u64>(),
+                "baseline lost or corrupted values under fuzz seed {seed}"
+            );
+        }
+
+        for seed in 0..8 {
+            // Tiny rings force LCRQ close-and-append transitions (and the
+            // drained-ring unlink on the dequeue side).
+            drive(&Lcrq::with_ring_order(3), seed);
+            drive(&MsQueue::new(), seed);
+        }
+
+        let cov = fault::coverage();
+        let missed: Vec<&str> = wfq_baselines::FAULT_POINTS
+            .iter()
+            .copied()
+            .filter(|p| cov.get(p).copied().unwrap_or(0) == 0)
+            .collect();
+        assert!(
+            missed.is_empty(),
+            "baseline sweep never reached {missed:?}; coverage: {cov:#?}"
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Negative control (the certification step must have teeth)
+    // ------------------------------------------------------------------
+
+    /// A deliberately broken "queue": LIFO order behind a lock. Sequential
+    /// `enq 1, enq 2, deq → 2` is impossible for any FIFO queue, so the
+    /// checker must reject it — if this test ever passes a broken history,
+    /// the fuzz sweep's green runs mean nothing.
+    struct BrokenLifo(Mutex<Vec<u64>>);
+
+    impl BrokenLifo {
+        fn enqueue(&self, v: u64) {
+            inject!("broken::push");
+            self.0.lock().unwrap().push(v);
+        }
+        fn dequeue(&self) -> Option<u64> {
+            inject!("broken::pop");
+            self.0.lock().unwrap().pop() // LIFO: the bug
+        }
+    }
+
+    #[test]
+    fn negative_control_broken_queue_is_flagged() {
+        let seed = 0xBAD_5EED;
+        let q = BrokenLifo(Mutex::new(Vec::new()));
+        let rec = Recorder::new();
+        let mut tr = rec.thread();
+        // Run under a real fuzz plan: perturbations must not stop the
+        // checker from seeing through to the semantics.
+        fault::with_plan(FaultPlan::fuzz(seed, 70), || {
+            for v in [1, 2, 3] {
+                let inv = tr.invoke();
+                q.enqueue(v);
+                tr.record(OpKind::Enqueue(v), inv);
+            }
+            for _ in 0..3 {
+                let inv = tr.invoke();
+                let got = q.dequeue();
+                tr.record(OpKind::Dequeue(got), inv);
+            }
+        });
+        drop(tr);
+        let h = rec.finish();
+        // All operations are sequential (one thread), so dequeuing 3 first
+        // admits no valid linearization.
+        assert!(
+            matches!(check_linearizable(&h, 1_000_000), CheckResult::NotLinearizable),
+            "checker failed to flag a LIFO history — negative control broken"
+        );
+        // The injection points inside the broken queue were really hit.
+        assert!(fault::coverage_count("broken::pop") >= 3);
+    }
+
+    // ------------------------------------------------------------------
+    // Targeted regression: the hazard window of Listing 5
+    // ------------------------------------------------------------------
+
+    /// A tiny event the hook-side thread can park on.
+    #[derive(Default)]
+    struct Event(Mutex<bool>, Condvar);
+
+    impl Event {
+        fn set(&self) {
+            *self.0.lock().unwrap() = true;
+            self.1.notify_all();
+        }
+        fn wait(&self) {
+            let mut g = self.0.lock().unwrap();
+            while !*g {
+                g = self.1.wait(g).unwrap();
+            }
+        }
+    }
+
+    /// Parks a dequeuer *between publishing its hazard and using it* (the
+    /// `deq::hazard_published` point — the window the reclaimer's scans
+    /// must respect) while another thread churns segments and triggers
+    /// cleanup after cleanup. The cleaner must observe the parked hazard
+    /// (id 0), clamp its boundary, and refuse to free anything; after
+    /// release, the same traffic must reclaim freely. This pins the exact
+    /// behaviour that the reverse re-verification pass and the boundary
+    /// clamp exist for — a reclaimer that ignored parked hazards would
+    /// free segment 0 under the parked thread and crash (or silently
+    /// corrupt) on release.
+    #[test]
+    fn reclaimer_never_passes_a_parked_hazard() {
+        let q = RawQueue::<SEG>::with_config(Config::default().with_max_garbage(1));
+        let parked = Arc::new(Event::default());
+        let release = Arc::new(Event::default());
+        let dequeued_while_parked = Arc::new(AtomicI64::new(-1));
+
+        std::thread::scope(|s| {
+            // Thread A: dequeue once with a hook that parks inside the
+            // hazard window. Its hazard mirror is segment 0 (fresh handle),
+            // so the published hazard pins the very first segment.
+            {
+                let q = &q;
+                let (parked, release) = (Arc::clone(&parked), Arc::clone(&release));
+                s.spawn(move || {
+                    let mut h = q.register();
+                    let p = Arc::clone(&parked);
+                    let r = Arc::clone(&release);
+                    fault::with_plan(
+                        FaultPlan::new().hook_at(
+                            "deq::hazard_published",
+                            0,
+                            Arc::new(move |_| {
+                                p.set();
+                                r.wait();
+                            }),
+                        ),
+                        || {
+                            let _ = h.dequeue();
+                        },
+                    );
+                });
+            }
+
+            // Thread B: once A is parked, push enough traffic through to
+            // retire many segments and trigger a cleanup at each one.
+            {
+                let q = &q;
+                let parked = Arc::clone(&parked);
+                let release = Arc::clone(&release);
+                let dwp = Arc::clone(&dequeued_while_parked);
+                s.spawn(move || {
+                    parked.wait();
+                    let mut h = q.register();
+                    let total = SEG as u64 * 40;
+                    for v in 1..=total {
+                        h.enqueue(v);
+                        let _ = h.dequeue();
+                    }
+                    let s1 = q.stats();
+                    // Cleanups ran (the traffic crossed ~40 segment
+                    // boundaries with a garbage bound of 1)…
+                    assert!(
+                        s1.cleanups > 0,
+                        "traffic never elected a cleaner: {s1:?}"
+                    );
+                    // …but every single one backed off at A's hazard:
+                    assert_eq!(
+                        s1.segs_freed, 0,
+                        "reclaimer freed past a parked hazard: {s1:?}"
+                    );
+                    assert!(
+                        s1.reclaim_noop > 0,
+                        "cleanups ran but the no-op path never taken: {s1:?}"
+                    );
+                    // The oldest-segment token, whenever free, still names
+                    // segment 0 — the boundary never advanced.
+                    let oid = q.oldest_segment_id();
+                    assert!(
+                        oid <= 0,
+                        "oldest segment advanced to {oid} past the parked hazard"
+                    );
+                    dwp.store(s1.segs_freed as i64, Ordering::SeqCst);
+                    release.set();
+                });
+            }
+        });
+
+        // A released: its dequeue completed against a segment that was
+        // never freed under it. Now the hazard is gone — the same traffic
+        // must reclaim.
+        let mut h = q.register();
+        let total = SEG as u64 * 40;
+        for v in 1..=total {
+            h.enqueue(v);
+            assert!(h.dequeue().is_some(), "value lost after release");
+        }
+        drop(h);
+        let s2 = q.stats();
+        assert!(
+            s2.segs_freed > 0,
+            "reclamation still stuck after the hazard was released: {s2:?}"
+        );
+        assert_eq!(dequeued_while_parked.load(Ordering::SeqCst), 0);
+    }
+
+    /// The fuzz sweep must also reach the adopted-hazard instruction — the
+    /// *source* of backward jumps (help_deq overwriting its own hazard
+    /// with the helpee's older one, Listing 5 line 220). Guarded here
+    /// separately because it is the subtlest window in the protocol and a
+    /// refactor that silently stopped exercising it should fail loudly.
+    #[test]
+    fn backward_jump_source_is_reachable() {
+        for seed in 0..16 {
+            let q = RawQueue::<SEG>::with_config(Config::wf0().with_max_garbage(1));
+            std::thread::scope(|s| {
+                for t in 0..4u64 {
+                    let q = &q;
+                    s.spawn(move || {
+                        fault::with_plan(thread_plan(seed, t, 80), || {
+                            let mut h = q.register();
+                            for k in 0..32 {
+                                if (k + t) % 2 == 0 {
+                                    h.enqueue(t * 1000 + k + 1);
+                                } else {
+                                    let _ = h.dequeue();
+                                }
+                            }
+                        });
+                    });
+                }
+            });
+            if fault::coverage_count("help_deq::hazard_adopted") > 0 {
+                return;
+            }
+        }
+        panic!(
+            "no schedule in 16 seeds drove help_deq to adopt a helpee's \
+             hazard; coverage: {:#?}",
+            fault::coverage()
+        );
+    }
+}

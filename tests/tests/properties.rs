@@ -1,12 +1,17 @@
-//! Property-based tests: every queue in the repository is sequentially
-//! equivalent to `VecDeque` under arbitrary operation sequences, and the
+//! Property-style tests: every queue in the repository is sequentially
+//! equivalent to `VecDeque` under randomized operation sequences, and the
 //! checker infrastructure itself satisfies its contracts.
+//!
+//! Randomness is a seeded sweep over [`wfq_sync::XorShift64`] (no external
+//! property-testing dependency): each case derives its op sequence from a
+//! fixed base seed, so failures are reproducible by construction — the
+//! assertion message names the seed.
 
 use std::collections::VecDeque;
 
-use proptest::prelude::*;
 use wfq_baselines::{BenchQueue, CcQueue, KpQueue, Lcrq, MsQueue, MutexQueue, QueueHandle, Wf0};
 use wfq_checker::{check_linearizable, check_necessary, History, OpKind};
+use wfq_sync::XorShift64;
 use wfqueue::{Config, RawQueue, WfQueue};
 
 /// An abstract operation for the model test.
@@ -16,16 +21,27 @@ enum Op {
     Deq,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (1u64..1_000_000).prop_map(Op::Enq),
-        Just(Op::Deq),
-    ]
+/// Cases per sweep (matches the former proptest `cases = 64`).
+const CASES: u64 = 64;
+
+/// Generates a random op sequence of length in `1..max_len` for `seed`.
+fn gen_ops(seed: u64, max_len: u64) -> Vec<Op> {
+    let mut rng = XorShift64::for_stream(0x5EED_BA5E, seed);
+    let len = rng.next_in(1, max_len - 1);
+    (0..len)
+        .map(|_| {
+            if rng.coin() {
+                Op::Enq(rng.next_in(1, 1_000_000))
+            } else {
+                Op::Deq
+            }
+        })
+        .collect()
 }
 
 /// Applies `ops` to both the queue under test and a VecDeque model; every
 /// dequeue must agree.
-fn check_sequential<Q: BenchQueue>(ops: &[Op]) {
+fn check_sequential<Q: BenchQueue>(ops: &[Op], seed: u64) {
     let q = Q::new();
     let mut h = q.register();
     let mut model: VecDeque<u64> = VecDeque::new();
@@ -38,94 +54,119 @@ fn check_sequential<Q: BenchQueue>(ops: &[Op]) {
             Op::Deq => {
                 let got = h.dequeue();
                 let want = model.pop_front();
-                assert_eq!(got, want, "{} diverged at step {step}", Q::NAME);
+                assert_eq!(got, want, "{} diverged at step {step} (seed {seed})", Q::NAME);
             }
         }
     }
     // Drain: the tail of the model must come out in order.
     while let Some(want) = model.pop_front() {
-        assert_eq!(h.dequeue(), Some(want), "{} diverged in drain", Q::NAME);
+        assert_eq!(
+            h.dequeue(),
+            Some(want),
+            "{} diverged in drain (seed {seed})",
+            Q::NAME
+        );
     }
     assert_eq!(h.dequeue(), None);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn wf10_matches_vecdeque(ops in proptest::collection::vec(op_strategy(), 1..400)) {
-        check_sequential::<RawQueue>(&ops);
+fn sweep<Q: BenchQueue>(max_len: u64) {
+    for seed in 0..CASES {
+        check_sequential::<Q>(&gen_ops(seed, max_len), seed);
     }
+}
 
-    #[test]
-    fn wf0_matches_vecdeque(ops in proptest::collection::vec(op_strategy(), 1..400)) {
-        check_sequential::<Wf0>(&ops);
-    }
+#[test]
+fn wf10_matches_vecdeque() {
+    sweep::<RawQueue>(400);
+}
 
-    #[test]
-    fn msqueue_matches_vecdeque(ops in proptest::collection::vec(op_strategy(), 1..400)) {
-        check_sequential::<MsQueue>(&ops);
-    }
+#[test]
+fn wf0_matches_vecdeque() {
+    sweep::<Wf0>(400);
+}
 
-    #[test]
-    fn lcrq_matches_vecdeque(ops in proptest::collection::vec(op_strategy(), 1..400)) {
-        check_sequential::<Lcrq>(&ops);
-    }
+#[test]
+fn msqueue_matches_vecdeque() {
+    sweep::<MsQueue>(400);
+}
 
-    #[test]
-    fn ccqueue_matches_vecdeque(ops in proptest::collection::vec(op_strategy(), 1..400)) {
-        check_sequential::<CcQueue>(&ops);
-    }
+#[test]
+fn lcrq_matches_vecdeque() {
+    sweep::<Lcrq>(400);
+}
 
-    #[test]
-    fn mutex_matches_vecdeque(ops in proptest::collection::vec(op_strategy(), 1..400)) {
-        check_sequential::<MutexQueue>(&ops);
-    }
+#[test]
+fn ccqueue_matches_vecdeque() {
+    sweep::<CcQueue>(400);
+}
 
-    #[test]
-    fn kpqueue_matches_vecdeque(ops in proptest::collection::vec(op_strategy(), 1..200)) {
-        check_sequential::<KpQueue>(&ops);
-    }
+#[test]
+fn mutex_matches_vecdeque() {
+    sweep::<MutexQueue>(400);
+}
 
-    /// Tiny segments force constant list extension and reclamation while
-    /// remaining sequentially correct.
-    #[test]
-    fn wf_with_tiny_segments_matches_vecdeque(
-        ops in proptest::collection::vec(op_strategy(), 1..400),
-    ) {
-        let q: RawQueue<8> = RawQueue::with_config(
-            Config::default().with_max_garbage(1),
-        );
+#[test]
+fn kpqueue_matches_vecdeque() {
+    sweep::<KpQueue>(200);
+}
+
+/// Tiny segments force constant list extension and reclamation while
+/// remaining sequentially correct.
+#[test]
+fn wf_with_tiny_segments_matches_vecdeque() {
+    for seed in 0..CASES {
+        let ops = gen_ops(seed, 400);
+        let q: RawQueue<8> = RawQueue::with_config(Config::default().with_max_garbage(1));
         let mut h = q.register();
         let mut model: VecDeque<u64> = VecDeque::new();
         for op in &ops {
             match *op {
-                Op::Enq(v) => { h.enqueue(v); model.push_back(v); }
+                Op::Enq(v) => {
+                    h.enqueue(v);
+                    model.push_back(v);
+                }
                 Op::Deq => {
-                    prop_assert_eq!(h.dequeue(), model.pop_front());
+                    assert_eq!(h.dequeue(), model.pop_front(), "seed {seed}");
                 }
             }
         }
     }
+}
 
-    /// Typed queue: arbitrary values (including the raw sentinels) survive
-    /// boxing round-trips.
-    #[test]
-    fn typed_queue_roundtrips_any_u64(vals in proptest::collection::vec(any::<u64>(), 1..200)) {
+/// Typed queue: arbitrary values (including the raw sentinels) survive
+/// boxing round-trips.
+#[test]
+fn typed_queue_roundtrips_any_u64() {
+    for seed in 0..CASES {
+        let mut rng = XorShift64::for_stream(0x7F00D, seed);
+        let len = rng.next_in(1, 199);
+        // Bias some draws to the raw sentinel patterns the typed layer
+        // must shield (0 and u64::MAX are invalid in RawQueue).
+        let vals: Vec<u64> = (0..len)
+            .map(|_| match rng.next_below(8) {
+                0 => 0,
+                1 => u64::MAX,
+                _ => rng.next_u64(),
+            })
+            .collect();
         let q: WfQueue<u64> = WfQueue::new();
         let mut h = q.handle();
-        for &v in &vals { h.enqueue(v); }
         for &v in &vals {
-            prop_assert_eq!(h.dequeue(), Some(v));
+            h.enqueue(v);
         }
-        prop_assert_eq!(h.dequeue(), None);
+        for &v in &vals {
+            assert_eq!(h.dequeue(), Some(v), "seed {seed}");
+        }
+        assert_eq!(h.dequeue(), None, "seed {seed}");
     }
+}
 
-    /// Any *valid* sequential FIFO history passes both checkers.
-    #[test]
-    fn checkers_accept_valid_sequential_histories(
-        ops in proptest::collection::vec(op_strategy(), 1..40),
-    ) {
+/// Any *valid* sequential FIFO history passes both checkers.
+#[test]
+fn checkers_accept_valid_sequential_histories() {
+    for seed in 0..CASES {
+        let ops = gen_ops(seed, 40);
         let mut model: VecDeque<u64> = VecDeque::new();
         let mut kinds = Vec::new();
         let mut next = 1u64;
@@ -143,17 +184,22 @@ proptest! {
             }
         }
         let h = History::sequential(&kinds);
-        prop_assert_eq!(check_necessary(&h), Ok(()));
-        prop_assert!(check_linearizable(&h, 1_000_000).is_ok() || h.len() > 128);
+        assert_eq!(check_necessary(&h), Ok(()), "seed {seed}");
+        assert!(
+            check_linearizable(&h, 1_000_000).is_ok() || h.len() > 128,
+            "seed {seed}"
+        );
     }
+}
 
-    /// Corrupting one dequeue's result in a valid history must be caught
-    /// by the exhaustive checker (completeness against mutations).
-    #[test]
-    fn checker_rejects_mutated_histories(
-        n_values in 2usize..10,
-        swap in any::<bool>(),
-    ) {
+/// Corrupting one dequeue's result in a valid history must be caught
+/// by the exhaustive checker (completeness against mutations).
+#[test]
+fn checker_rejects_mutated_histories() {
+    for seed in 0..CASES {
+        let mut rng = XorShift64::for_stream(0xBAD, seed);
+        let n_values = rng.next_in(2, 9) as usize;
+        let swap = rng.coin();
         // Build enq(1..n) then deq all; mutate by swapping two dequeue
         // results or dropping one value for a never-enqueued one.
         let mut kinds: Vec<OpKind> = (1..=n_values as u64).map(OpKind::Enqueue).collect();
@@ -165,8 +211,8 @@ proptest! {
         }
         kinds.extend(dq.into_iter().map(|v| OpKind::Dequeue(Some(v))));
         let h = History::sequential(&kinds);
-        prop_assert!(!check_linearizable(&h, 1_000_000).is_ok());
-        prop_assert!(check_necessary(&h).is_err());
+        assert!(!check_linearizable(&h, 1_000_000).is_ok(), "seed {seed}");
+        assert!(check_necessary(&h).is_err(), "seed {seed}");
     }
 }
 
