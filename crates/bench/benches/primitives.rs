@@ -93,6 +93,17 @@ fn bench_inject_overhead(c: &mut Criterion) {
             v
         })
     });
+    // Same guardrail for the flight recorder (`wfq_obs::record!`): without
+    // the `trace` feature the instrumented loop must be cycle-identical to
+    // the bare FAA loop — the recorder's const proof made observable.
+    g.bench_function("faa_with_trace_points", |b| {
+        b.iter(|| {
+            wfq_obs::record!(wfq_obs::EventKind::EnqFast, 0u64);
+            let v = std::hint::black_box(counter.fetch_add(1, Ordering::SeqCst));
+            wfq_obs::record!(wfq_obs::EventKind::DeqFast, v);
+            v
+        })
+    });
     g.finish();
 }
 

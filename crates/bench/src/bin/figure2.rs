@@ -5,19 +5,37 @@
 //! ```text
 //! cargo run -p wfq-bench --release --bin figure2 -- \
 //!     [--workload pairs|fifty|both] [--threads 1,2,4,8] [--ops N] \
-//!     [--full] [--quick] [--csv out.csv]
+//!     [--full] [--quick] [--csv out.csv] [--json out.json] [--trace out.trace.json]
 //! ```
 //!
 //! `--full` uses the paper's exact parameters (10^7 ops, 20 iterations,
 //! 10 invocations); the default is scaled down to finish in minutes on a
 //! small host. `--quick` shrinks further for smoke tests.
+//!
+//! `--json` writes the machine-readable result document (the committed
+//! `results/BENCH_pairwise.json` snapshot format); with `--workload both`
+//! the workload name is appended before the extension. `--trace` drains the
+//! flight recorders into a Chrome trace file — build with `--features
+//! trace` for it to contain events.
 
 use std::fmt::Write as _;
 
 use wfq_baselines::{CcQueue, FaaBench, KpQueue, Lcrq, MsQueue, MutexQueue, Wf0};
 use wfq_bench::{default_ops, default_thread_sweep, Args};
-use wfq_harness::{render_csv, render_markdown, run_series, BenchConfig, Series, Workload};
+use wfq_harness::{
+    render_csv, render_json, render_markdown, run_series, BenchConfig, Series, Workload,
+};
 use wfqueue::RawQueue;
+
+/// `path` with `.{label}` inserted before the extension (`a/b.json`,
+/// `pairs` → `a/b.pairs.json`); used when one invocation emits one JSON
+/// file per workload.
+fn suffixed(path: &str, label: &str) -> String {
+    match path.rsplit_once('.') {
+        Some((stem, ext)) => format!("{stem}.{label}.{ext}"),
+        None => format!("{path}.{label}"),
+    }
+}
 
 fn sweep(args: &Args) -> Vec<usize> {
     match args.get("threads") {
@@ -84,6 +102,7 @@ fn main() {
 
     let mut md = String::new();
     let mut csv = String::new();
+    let mut json_out: Vec<(&str, Vec<Series>)> = Vec::new();
     if which == "pairs" || which == "both" {
         let series = run_workload(&args, Workload::Pairs, &threads);
         md.push_str(&render_markdown(
@@ -92,17 +111,42 @@ fn main() {
         ));
         md.push('\n');
         let _ = write!(csv, "# workload=pairs\n{}", render_csv(&series));
+        json_out.push(("pairwise", series));
     }
     if which == "fifty" || which == "both" {
         let series = run_workload(&args, Workload::FiftyEnqueues, &threads);
         md.push_str(&render_markdown(&series, "Figure 2 (bottom): 50%-enqueues"));
         md.push('\n');
         let _ = write!(csv, "# workload=fifty\n{}", render_csv(&series));
+        json_out.push(("fifty_enqueues", series));
     }
 
     println!("{md}");
     if let Some(path) = args.get("csv") {
         std::fs::write(path, csv).expect("write csv");
         eprintln!("csv written to {path}");
+    }
+    if let Some(path) = args.get("json") {
+        for (label, series) in &json_out {
+            let path = if json_out.len() > 1 {
+                suffixed(path, label)
+            } else {
+                path.to_string()
+            };
+            std::fs::write(&path, render_json("figure2", label, series)).expect("write json");
+            eprintln!("json written to {path}");
+        }
+    }
+    if let Some(path) = args.get("trace") {
+        let events = wfq_harness::dump_chrome_trace(std::path::Path::new(path))
+            .expect("write chrome trace");
+        eprintln!(
+            "chrome trace written to {path} ({events} events{})",
+            if wfq_obs::ENABLED {
+                ""
+            } else {
+                "; rebuild with --features trace to record events"
+            }
+        );
     }
 }

@@ -3,8 +3,13 @@
 //! oversubscribed thread counts (the paper's 144/288-thread columns).
 //!
 //! ```text
-//! cargo run -p wfq-bench --release --bin table2 -- [--ops N] [--patience P]
+//! cargo run -p wfq-bench --release --bin table2 -- [--ops N] [--patience P] \
+//!     [--metrics-out metrics.prom] [--trace out.trace.json]
 //! ```
+//!
+//! `--metrics-out` writes the highest-thread-count run's statistics in the
+//! Prometheus text exposition format; `--trace` drains the flight recorders
+//! into a Chrome trace file (build with `--features trace` for events).
 
 use wfq_bench::Args;
 use wfq_harness::breakdown::{render_table2, run_breakdown};
@@ -39,14 +44,31 @@ fn main() {
         hw, hw
     );
     println!("{}", render_table2(&rows));
+    // The full per-run path breakdown, in QueueStats' own Table-2 layout
+    // (shared with examples/telemetry.rs — no ad-hoc stat printing here).
     for r in &rows {
+        eprintln!("-- {} threads --\n{}\n", r.threads, r.stats);
+    }
+
+    if let Some(path) = args.get("metrics-out") {
+        let last = rows.last().expect("at least one run");
+        wfq_harness::write_metrics(std::path::Path::new(path), &last.stats, None)
+            .expect("write metrics");
         eprintln!(
-            "  {} threads: {} enq, {} deq, {} cleanups, {} segments freed",
-            r.threads,
-            r.stats.enqueues(),
-            r.stats.dequeues(),
-            r.stats.cleanups,
-            r.stats.segs_freed
+            "metrics for the {}-thread run written to {path}",
+            last.threads
+        );
+    }
+    if let Some(path) = args.get("trace") {
+        let events = wfq_harness::dump_chrome_trace(std::path::Path::new(path))
+            .expect("write chrome trace");
+        eprintln!(
+            "chrome trace written to {path} ({events} events{})",
+            if wfq_obs::ENABLED {
+                ""
+            } else {
+                "; rebuild with --features trace to record events"
+            }
         );
     }
 }

@@ -80,7 +80,7 @@ mod typed;
 pub use config::Config;
 pub use owned::{OwnedHandle, OwnedLocalHandle};
 pub use raw::{Handle, RawQueue};
-pub use stats::QueueStats;
+pub use stats::{Gauges, QueueStats};
 pub use typed::{LocalHandle, WfQueue};
 
 /// Default number of cells per segment (the paper's N = 2^10).

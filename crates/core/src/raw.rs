@@ -22,11 +22,11 @@ use crate::cell::{
     is_valid_value, Cell, DEQ_BOTTOM, ENQ_BOTTOM, ENQ_TOP, VAL_BOTTOM, VAL_TOP,
 };
 use crate::config::Config;
-use crate::handle::{HandleNode, Registry};
+use crate::handle::{HandleNode, Registry, NO_HAZARD};
 use crate::pack::ReqState;
 use crate::request::DeqReq;
 use crate::segment::{find_cell, Segment};
-use crate::stats::{HandleStats, QueueStats};
+use crate::stats::{Gauges, HandleStats, QueueStats};
 use crate::DEFAULT_SEGMENT_SIZE;
 
 /// Result of `help_enq` (paper Listing 3, lines 90–127): the cell either
@@ -250,6 +250,50 @@ impl<const N: usize> RawQueue<N> {
         s
     }
 
+    /// Instantaneous gauge snapshot: indices, the reclamation frontier, the
+    /// laggiest published hazard, and helping-record occupancy. Each field
+    /// is an independent atomic read — the snapshot is not a consistent cut
+    /// across them, which is fine for the monitoring it feeds.
+    pub fn gauges(&self) -> Gauges {
+        let (head_index, tail_index) = self.indices();
+        let oldest_segment_id = self.oldest_id.load(Ordering::SeqCst);
+        let reg = self.registry.lock().unwrap();
+        let mut g = Gauges {
+            head_index,
+            tail_index,
+            oldest_segment_id,
+            total_handles: reg.all.len() as u64,
+            ..Gauges::default()
+        };
+        let (mut alloc, mut freed) = (0u64, 0u64);
+        for &n in &reg.all {
+            // SAFETY: nodes live until queue drop.
+            let n = unsafe { &*n };
+            if n.active.load(Ordering::Relaxed) {
+                g.active_handles += 1;
+            }
+            let hzd = n.hzd_id.load(Ordering::SeqCst);
+            if hzd != NO_HAZARD {
+                let hzd = hzd as u64;
+                g.min_hazard = Some(g.min_hazard.map_or(hzd, |m| m.min(hzd)));
+            }
+            if n.enq_req.state().pending {
+                g.pending_enq_reqs += 1;
+            }
+            if n.deq_req.state().pending {
+                g.pending_deq_reqs += 1;
+            }
+            alloc += n.stats.segs_alloc.load(Ordering::Relaxed);
+            freed += n.stats.segs_freed.load(Ordering::Relaxed);
+        }
+        // +1: the initial segment is never counted as allocated.
+        g.live_segments = (alloc + 1).saturating_sub(freed);
+        if let Some(min) = g.min_hazard {
+            g.hazard_lag_segments = (head_index / N as u64).saturating_sub(min);
+        }
+        g
+    }
+
     // ------------------------------------------------------------------
     // Enqueue (Listing 3)
     // ------------------------------------------------------------------
@@ -272,6 +316,7 @@ impl<const N: usize> RawQueue<N> {
         }
         let last_index = if done {
             HandleStats::bump(&h.stats.enq_fast);
+            wfq_obs::record!(wfq_obs::EventKind::EnqFast, cell_id);
             cell_id
         } else {
             let claimed = self.enq_slow(h, v, cell_id);
@@ -310,6 +355,7 @@ impl<const N: usize> RawQueue<N> {
         let r = &h.enq_req;
         r.publish(v, cell_id); // line 72
         inject!("enq_slow::request_published");
+        wfq_obs::record!(wfq_obs::EventKind::EnqSlowEnter, cell_id);
 
         // Line 75: traverse with a local tail pointer because the commit
         // below may need to revisit an *earlier* cell.
@@ -343,6 +389,7 @@ impl<const N: usize> RawQueue<N> {
         // SAFETY: id ≥ cell_id ≥ (*h.tail).id * N, all hazard-protected.
         let c = unsafe { &*find_cell(&h.tail, id, &h.spare, &h.stats.segs_alloc) };
         self.enq_commit(c, v, id);
+        wfq_obs::record!(wfq_obs::EventKind::EnqSlowExit, id);
         id
     }
 
@@ -404,6 +451,7 @@ impl<const N: usize> RawQueue<N> {
                 inject!("help_enq::top_race");
                 if c.try_seal_enq() {
                     HandleStats::bump(&h.stats.help_enq_seal);
+                    wfq_obs::record!(wfq_obs::EventKind::CellSeal, i);
                 }
             }
         }
@@ -436,6 +484,7 @@ impl<const N: usize> RawQueue<N> {
             inject!("help_enq::pre_complete");
             self.enq_commit(c, v, i);
             HandleStats::bump(&h.stats.help_enq_commit);
+            wfq_obs::record!(wfq_obs::EventKind::HelpEnqCommit, i);
         }
         // Line 127.
         match c.load_val() {
@@ -477,6 +526,9 @@ impl<const N: usize> RawQueue<N> {
         let result = match outcome {
             Some(r) => {
                 HandleStats::bump(&h.stats.deq_fast);
+                if r.is_some() {
+                    wfq_obs::record!(wfq_obs::EventKind::DeqFast, last_index);
+                }
                 r
             }
             None => {
@@ -488,6 +540,7 @@ impl<const N: usize> RawQueue<N> {
         };
         if result.is_none() {
             HandleStats::bump(&h.stats.deq_empty);
+            wfq_obs::record!(wfq_obs::EventKind::DeqEmpty, last_index);
         }
 
         // Lines 135–138: a successful dequeue helps its dequeue peer.
@@ -533,6 +586,7 @@ impl<const N: usize> RawQueue<N> {
         let r = &h.deq_req;
         r.publish(cid); // line 151
         inject!("deq_slow::request_published");
+        wfq_obs::record!(wfq_obs::EventKind::DeqSlowEnter, cid);
         self.help_deq(h, h); // line 152
         // Lines 153–156: the request's announced cell holds the result.
         let i = r.state().index;
@@ -540,6 +594,7 @@ impl<const N: usize> RawQueue<N> {
         let c = unsafe { &*find_cell(&h.head, i, &h.spare, &h.stats.segs_alloc) };
         let v = c.load_val();
         advance_index(&self.head_index, i + 1);
+        wfq_obs::record!(wfq_obs::EventKind::DeqSlowExit, i);
         if v == VAL_TOP {
             HandleStats::bump(&h.stats.deq_slow_empty);
             (None, i)
@@ -566,13 +621,14 @@ impl<const N: usize> RawQueue<N> {
         // never a pointer, so nothing is dereferenced here. If the helpee
         // already finished (hazard cleared), the state re-read below bails
         // out before any segment is touched.
-        h.hzd_id
-            .store(helpee.hzd_id.load(Ordering::SeqCst), Ordering::SeqCst);
+        let adopted = helpee.hzd_id.load(Ordering::SeqCst);
+        h.hzd_id.store(adopted, Ordering::SeqCst);
         fence(Ordering::SeqCst);
         // The hazard "backward jump": this thread's published hazard may
         // now be *older* than where a concurrent cleaner's forward pass
         // already scanned — exactly what the reverse pass must catch.
         inject!("help_deq::hazard_adopted");
+        wfq_obs::record!(wfq_obs::EventKind::HazardAdopt, adopted as u64);
         s = r.state(); // line 165: must re-read after hazard adoption
 
         let mut prior = id; // line 166
@@ -609,6 +665,7 @@ impl<const N: usize> RawQueue<N> {
                 inject!("help_deq::pre_announce");
                 if r.cas_state((true, prior), (true, cand)) {
                     HandleStats::bump(&h.stats.help_deq_announce);
+                    wfq_obs::record!(wfq_obs::EventKind::HelpDeqAnnounce, cand);
                 }
                 s = r.state();
                 cand = 0;
@@ -631,6 +688,7 @@ impl<const N: usize> RawQueue<N> {
                 if r.cas_state((true, s.index), (false, s.index)) {
                     // line 196
                     HandleStats::bump(&h.stats.help_deq_complete);
+                    wfq_obs::record!(wfq_obs::EventKind::HelpDeqComplete, s.index);
                 }
                 return;
             }
@@ -924,6 +982,29 @@ mod tests {
         assert_eq!(a.load(Ordering::Relaxed), 9);
         advance_index(&a, 9);
         assert_eq!(a.load(Ordering::Relaxed), 9);
+    }
+
+    #[test]
+    fn gauges_reflect_idle_and_active_state() {
+        let q: RawQueue<64> = RawQueue::new();
+        let mut h = q.register();
+        for v in 1..=100 {
+            h.enqueue(v);
+        }
+        let g = q.gauges();
+        assert_eq!(g.tail_index, 100);
+        assert_eq!(g.head_index, 0);
+        assert_eq!(g.active_handles, 1);
+        assert_eq!(g.total_handles, 1);
+        assert_eq!(g.min_hazard, None, "idle handle: no hazard published");
+        assert_eq!(g.hazard_lag_segments, 0);
+        assert_eq!(g.pending_enq_reqs, 0);
+        assert_eq!(g.pending_deq_reqs, 0);
+        assert_eq!(g.oldest_segment_id, 0);
+        // 100 values over 64-cell segments: at least two segments live.
+        assert!(g.live_segments >= 2, "{g:?}");
+        drop(h);
+        assert_eq!(q.gauges().active_handles, 0);
     }
 
     #[test]

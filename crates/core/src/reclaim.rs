@@ -93,6 +93,7 @@ impl<const N: usize> RawQueue<N> {
         let oid = oid as u64;
         inject!("reclaim::elected");
         HandleStats::bump(&h.stats.cleanups);
+        wfq_obs::record!(wfq_obs::EventKind::CleanerElected, oid);
 
         // Line 227: `start` is the current front (id == oid); nothing can
         // be freed while we hold the token, so the chain from `start` on is
@@ -147,6 +148,7 @@ impl<const N: usize> RawQueue<N> {
                 // The reverse pass caught a backward-jumped hazard the
                 // forward pass missed — the window this pass exists for.
                 HandleStats::bump(&h.stats.reclaim_backward_clamp);
+                wfq_obs::record!(wfq_obs::EventKind::HazardClamp, boundary);
             }
         }
 
@@ -168,6 +170,7 @@ impl<const N: usize> RawQueue<N> {
         // the prefix [start, new_front) is unreachable.
         let freed = unsafe { Segment::free_list(start, new_front) };
         h.stats.segs_freed.fetch_add(freed, Ordering::Relaxed);
+        wfq_obs::record!(wfq_obs::EventKind::SegFree, freed);
     }
 
     /// The paper's `update` (lines 239–247): push a lagging head/tail
@@ -197,6 +200,7 @@ impl<const N: usize> RawQueue<N> {
                 if cur_id < *boundary {
                     *boundary = cur_id;
                     HandleStats::bump(&cleaner.reclaim_conceded);
+                    wfq_obs::record!(wfq_obs::EventKind::HazardClamp, cur_id);
                 }
             }
             // Line 246: Dijkstra protocol — after the CAS, re-verify the

@@ -162,6 +162,7 @@ pub(crate) unsafe fn find_cell<const N: usize>(
             } {
                 Ok(_) => {
                     alloc_count.fetch_add(1, Ordering::Relaxed);
+                    wfq_obs::record!(wfq_obs::EventKind::SegAlloc, id + 1);
                     next = tmp;
                 }
                 Err(winner) => {

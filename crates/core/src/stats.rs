@@ -8,6 +8,7 @@
 //! cache access to, so they do not perturb the contention behaviour being
 //! measured.
 
+use core::fmt;
 use core::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-handle relaxed counters (owner-written, snapshot-read).
@@ -152,6 +153,116 @@ impl QueueStats {
     }
 }
 
+/// Renders the stats in the paper's Table 2 layout: one aligned row per
+/// operation kind with the fast/slow split and the percentages the paper
+/// reports, followed by the helping and reclamation breakdowns.
+impl fmt::Display for QueueStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<10} {:>12} {:>12} {:>12} {:>8}",
+            "op", "total", "fast", "slow", "% slow"
+        )?;
+        writeln!(
+            f,
+            "{:<10} {:>12} {:>12} {:>12} {:>7.3}%",
+            "enqueue",
+            self.enqueues(),
+            self.enq_fast,
+            self.enq_slow,
+            self.pct_slow_enq()
+        )?;
+        writeln!(
+            f,
+            "{:<10} {:>12} {:>12} {:>12} {:>7.3}%",
+            "dequeue",
+            self.dequeues(),
+            self.deq_fast,
+            self.deq_slow,
+            self.pct_slow_deq()
+        )?;
+        writeln!(
+            f,
+            "{:<10} {:>12} (empty: {:.3}% of dequeues; {} via slow path)",
+            "empty", self.deq_empty, self.pct_empty_deq(), self.deq_slow_empty
+        )?;
+        writeln!(
+            f,
+            "{:<10} enq {} (commit {}, seal {}, peer-finished {})",
+            "helping",
+            self.help_enq,
+            self.help_enq_commit,
+            self.help_enq_seal,
+            self.enq_slow_helped
+        )?;
+        writeln!(
+            f,
+            "{:<10} deq {} (announce {}, complete {})",
+            "", self.help_deq, self.help_deq_announce, self.help_deq_complete
+        )?;
+        writeln!(
+            f,
+            "{:<10} cleanups {} (noop {}, conceded {}, backward-clamp {})",
+            "reclaim",
+            self.cleanups,
+            self.reclaim_noop,
+            self.reclaim_conceded,
+            self.reclaim_backward_clamp
+        )?;
+        write!(
+            f,
+            "{:<10} alloc {} freed {} (live {})",
+            "segments", self.segs_alloc, self.segs_freed, self.live_segments()
+        )
+    }
+}
+
+/// Instantaneous queue gauges — point-in-time readings, as opposed to the
+/// monotone counters in [`QueueStats`]. Snapshot via
+/// [`RawQueue::gauges`](crate::RawQueue::gauges); exposed by the harness as
+/// Prometheus gauge metrics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Gauges {
+    /// Head index `H` (dequeue FAA counter).
+    pub head_index: u64,
+    /// Tail index `T` (enqueue FAA counter).
+    pub tail_index: u64,
+    /// Oldest live segment id `I`, or −1 while a cleaner holds the token.
+    pub oldest_segment_id: i64,
+    /// Segments currently in the list (computed from the counters; includes
+    /// the initial segment).
+    pub live_segments: u64,
+    /// Smallest published hazard id across all handles, if any operation is
+    /// in flight.
+    pub min_hazard: Option<u64>,
+    /// How many segments the laggiest published hazard pins behind the
+    /// dequeue frontier: `H/N − min_hazard` (0 when idle). A persistently
+    /// large value means reclamation is being held back.
+    pub hazard_lag_segments: u64,
+    /// Handles currently owned by live [`Handle`](crate::Handle)s.
+    pub active_handles: u64,
+    /// Registered handle ring slots (active or parked).
+    pub total_handles: u64,
+    /// Enqueue helping records currently pending (slow-path enqueues in
+    /// flight — the occupancy of the helping-request "ring slots").
+    pub pending_enq_reqs: u64,
+    /// Dequeue helping records currently pending.
+    pub pending_deq_reqs: u64,
+}
+
+impl Gauges {
+    /// Helping-record occupancy as a fraction of registered handles
+    /// (each handle owns one enqueue and one dequeue request slot).
+    pub fn help_ring_occupancy(&self) -> f64 {
+        if self.total_handles == 0 {
+            0.0
+        } else {
+            (self.pending_enq_reqs + self.pending_deq_reqs) as f64
+                / (2 * self.total_handles) as f64
+        }
+    }
+}
+
 fn pct(part: u64, whole: u64) -> f64 {
     if whole == 0 {
         0.0
@@ -202,5 +313,44 @@ mod tests {
         assert_eq!(s.pct_slow_deq(), 0.0);
         assert_eq!(s.pct_empty_deq(), 0.0);
         assert_eq!(s.live_segments(), 0);
+    }
+
+    #[test]
+    fn display_renders_the_table2_layout() {
+        let s = QueueStats {
+            enq_fast: 98,
+            enq_slow: 2,
+            deq_fast: 75,
+            deq_slow: 25,
+            deq_empty: 10,
+            help_enq: 3,
+            cleanups: 1,
+            segs_alloc: 5,
+            segs_freed: 4,
+            ..Default::default()
+        };
+        let out = s.to_string();
+        assert!(out.contains("enqueue"), "{out}");
+        assert!(out.contains("2.000%"), "pct_slow_enq missing: {out}");
+        assert!(out.contains("25.000%"), "pct_slow_deq missing: {out}");
+        assert!(out.contains("cleanups 1"), "{out}");
+        assert!(out.contains("alloc 5 freed 4 (live 1)"), "{out}");
+        // Aligned columns: header and the two op rows are the same width.
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains("total") && lines[0].contains("% slow"));
+        assert_eq!(lines[0].len(), lines[1].len(), "{out}");
+        assert_eq!(lines[1].len(), lines[2].len(), "{out}");
+    }
+
+    #[test]
+    fn gauges_occupancy_is_a_fraction_of_request_slots() {
+        let g = Gauges {
+            total_handles: 4,
+            pending_enq_reqs: 1,
+            pending_deq_reqs: 1,
+            ..Default::default()
+        };
+        assert!((g.help_ring_occupancy() - 0.25).abs() < 1e-9);
+        assert_eq!(Gauges::default().help_ring_occupancy(), 0.0);
     }
 }

@@ -250,6 +250,67 @@ mod tests {
     }
 
     #[test]
+    fn merge_of_disjoint_ranges_keeps_both_tails() {
+        // a: 1µs-range samples, b: 1s-range samples, no bucket overlap.
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for i in 0..100u64 {
+            a.record(1_000 + i);
+            b.record(1_000_000_000 + i * 1_000);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        assert_eq!(a.min(), 1_000);
+        assert_eq!(a.max(), 1_000_000_000 + 99_000);
+        // Below the gap the quantiles come from a's range, above from b's.
+        assert!(a.quantile(0.25) < 10_000, "p25 {}", a.quantile(0.25));
+        assert!(a.quantile(0.75) >= 500_000_000, "p75 {}", a.quantile(0.75));
+        // The merged mean sits between the two clusters.
+        assert!(a.mean() > 1_000.0 && a.mean() < 1_000_099_000.0);
+    }
+
+    #[test]
+    fn every_percentile_of_one_sample_is_that_sample() {
+        let mut h = Histogram::new();
+        h.record(777);
+        for i in 0..=100 {
+            assert_eq!(
+                h.quantile(i as f64 / 100.0),
+                777,
+                "q={} of a one-sample histogram",
+                i as f64 / 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn top_bucket_saturation_clamps_not_wraps() {
+        // Everything at or beyond 2^39 ns lands in the top bucket; counts
+        // stay exact, quantiles stay ordered, and nothing overflows even at
+        // u64::MAX (whose bucket value computation would wrap if value_for
+        // multiplied in u64).
+        let mut h = Histogram::new();
+        let huge = [1u64 << 39, (1 << 45) + 3, u64::MAX / 3, u64::MAX];
+        for &ns in &huge {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.min(), 1 << 39);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        // All four samples share the saturated top bucket, so any interior
+        // quantile reports a value clamped into [min, max].
+        for &q in &[0.1, 0.5, 0.9] {
+            let v = h.quantile(q);
+            assert!(v >= h.min() && v <= h.max(), "q={q} escaped range: {v}");
+        }
+        // Mixing in a small sample keeps the ordering intact.
+        h.record(10);
+        assert!(h.quantile(0.01) <= h.quantile(0.99));
+        assert_eq!(h.min(), 10);
+    }
+
+    #[test]
     fn formatting_units() {
         assert_eq!(fmt_ns(15), "15ns");
         assert_eq!(fmt_ns(1_500), "1.5µs");

@@ -1,0 +1,308 @@
+//! A minimal JSON parser for validating emitted artifacts.
+//!
+//! The repository builds in a container without network access, so no
+//! serde: this is a small recursive-descent parser covering exactly the
+//! JSON this workspace *emits* (Chrome trace documents, benchmark result
+//! files). It exists so tests and CI can check those artifacts actually
+//! parse, not to be a general-purpose JSON library — numbers are `f64`,
+//! objects keep insertion order in a `Vec`, and `\uXXXX` escapes outside
+//! the BMP are rejected rather than paired.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string literal, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object member lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document (rejecting trailing garbage).
+pub fn parse(src: &str) -> Result<Value, String> {
+    let bytes = src.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at offset {}",
+                b as char,
+                self.pos.saturating_sub(1)
+            ))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(format!("expected '{kw}' at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.expect_keyword("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.expect_keyword("false").map(|()| Value::Bool(false)),
+            Some(b'n') => self.expect_keyword("null").map(|()| Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {other:?} at offset {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Obj(members)),
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Arr(items)),
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let start = self.pos;
+                        let end = start.checked_add(4).filter(|&e| e <= self.bytes.len());
+                        let hex = end
+                            .and_then(|e| std::str::from_utf8(&self.bytes[start..e]).ok())
+                            .ok_or("bad \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or("surrogate \\u escape unsupported")?,
+                        );
+                        self.pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                // Multi-byte UTF-8: the input is a &str, so just carry the
+                // raw bytes through (they are valid by construction).
+                Some(b) if b < 0x20 => {
+                    return Err("unescaped control character in string".into())
+                }
+                Some(b) => {
+                    let ch_start = self.pos - 1;
+                    let width = utf8_width(b);
+                    let end = ch_start + width;
+                    if end > self.bytes.len() {
+                        return Err("truncated UTF-8 sequence".into());
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[ch_start..end])
+                            .map_err(|_| "invalid UTF-8 in string")?,
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("bad number '{text}' at offset {start}"))
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_parse() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse(" false ").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap(), Value::Num(42.0));
+        assert_eq!(parse("-1.5e3").unwrap(), Value::Num(-1500.0));
+        assert_eq!(parse("\"hi\"").unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn nested_structures_parse() {
+        let v = parse(r#"{"a": [1, {"b": "c"}, null], "d": {}}"#).unwrap();
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[0].as_num(), Some(1.0));
+        assert_eq!(arr[1].get("b").unwrap().as_str(), Some("c"));
+        assert_eq!(arr[2], Value::Null);
+        assert_eq!(v.get("d").unwrap(), &Value::Obj(vec![]));
+    }
+
+    #[test]
+    fn escapes_unescape() {
+        let v = parse(r#""a\"b\\c\ndA""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndA"));
+    }
+
+    #[test]
+    fn non_ascii_strings_survive() {
+        let v = parse("\"héllo → wörld\"").unwrap();
+        assert_eq!(v.as_str(), Some("héllo → wörld"));
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":1} x").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn empty_containers_parse() {
+        assert_eq!(parse("[]").unwrap(), Value::Arr(vec![]));
+        assert_eq!(parse("{ }").unwrap(), Value::Obj(vec![]));
+    }
+}

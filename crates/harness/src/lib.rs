@@ -23,14 +23,17 @@
 
 pub mod breakdown;
 pub mod histogram;
+pub mod json;
 pub mod measure;
+pub mod obs;
 pub mod report;
 pub mod stats;
 pub mod topology;
 pub mod workload;
 
 pub use measure::{measure_queue, Measurement};
-pub use report::{render_csv, render_markdown, Series, SeriesPoint};
+pub use obs::{dump_chrome_trace, render_prometheus, write_metrics};
+pub use report::{render_csv, render_json, render_markdown, Series, SeriesPoint};
 pub use workload::{BenchConfig, Workload};
 
 use wfq_baselines::BenchQueue;

@@ -1,0 +1,153 @@
+//! Metrics exposition and trace artifacts.
+//!
+//! Two output formats for the queue's observability data:
+//!
+//! - **Prometheus text exposition** ([`render_prometheus`]): the monotone
+//!   [`QueueStats`] counters as `wfq_*_total` counters plus the
+//!   instantaneous [`Gauges`] (live segments, hazard lag, helping-record
+//!   occupancy). The output follows the Prometheus text format 0.0.4
+//!   (`# HELP` / `# TYPE` headers, one sample per line), so it can be
+//!   scraped from a file or served as-is.
+//! - **Chrome trace JSON** ([`dump_chrome_trace`]): drains every flight
+//!   recorder registered in this process (see `wfq-obs`) and writes a
+//!   Perfetto-loadable trace. In builds without the `trace` feature the
+//!   drain is empty and the file holds an empty `traceEvents` array.
+
+use std::io;
+use std::path::Path;
+
+use wfqueue::{Gauges, QueueStats};
+
+fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+    ));
+}
+
+fn gauge(out: &mut String, name: &str, help: &str, value: f64) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+    ));
+}
+
+/// Renders queue statistics (and, when given, gauges) in the Prometheus
+/// text exposition format.
+pub fn render_prometheus(stats: &QueueStats, gauges: Option<&Gauges>) -> String {
+    let mut out = String::new();
+    let s = stats;
+    counter(&mut out, "wfq_enq_fast_total", "Enqueues completed on the fast path", s.enq_fast);
+    counter(&mut out, "wfq_enq_slow_total", "Enqueues that fell back to the slow path", s.enq_slow);
+    counter(&mut out, "wfq_deq_fast_total", "Dequeues completed on the fast path", s.deq_fast);
+    counter(&mut out, "wfq_deq_slow_total", "Dequeues that fell back to the slow path", s.deq_slow);
+    counter(&mut out, "wfq_deq_empty_total", "Dequeues that returned EMPTY", s.deq_empty);
+    counter(&mut out, "wfq_help_enq_total", "Calls helping a peer's enqueue request", s.help_enq);
+    counter(&mut out, "wfq_help_enq_commit_total", "help_enq calls that committed a peer's value", s.help_enq_commit);
+    counter(&mut out, "wfq_help_enq_seal_total", "Cells sealed unusable by help_enq", s.help_enq_seal);
+    counter(&mut out, "wfq_help_deq_total", "Calls helping a peer's dequeue request", s.help_deq);
+    counter(&mut out, "wfq_help_deq_announce_total", "Candidate cells announced by help_deq", s.help_deq_announce);
+    counter(&mut out, "wfq_help_deq_complete_total", "Dequeue requests completed by help_deq", s.help_deq_complete);
+    counter(&mut out, "wfq_cleanups_total", "Reclamation passes executed", s.cleanups);
+    counter(&mut out, "wfq_reclaim_noop_total", "Reclamation passes that found nothing", s.reclaim_noop);
+    counter(&mut out, "wfq_reclaim_conceded_total", "Reclamation boundary concessions", s.reclaim_conceded);
+    counter(&mut out, "wfq_reclaim_backward_clamp_total", "Backward-pass hazard clamps", s.reclaim_backward_clamp);
+    counter(&mut out, "wfq_segs_alloc_total", "Segments allocated and published", s.segs_alloc);
+    counter(&mut out, "wfq_segs_freed_total", "Segments reclaimed", s.segs_freed);
+    if let Some(g) = gauges {
+        gauge(&mut out, "wfq_head_index", "Head index H (dequeue FAA counter)", g.head_index as f64);
+        gauge(&mut out, "wfq_tail_index", "Tail index T (enqueue FAA counter)", g.tail_index as f64);
+        gauge(&mut out, "wfq_oldest_segment_id", "Oldest live segment id I (-1: cleaner active)", g.oldest_segment_id as f64);
+        gauge(&mut out, "wfq_live_segments", "Segments currently in the list", g.live_segments as f64);
+        gauge(
+            &mut out,
+            "wfq_hazard_lag_segments",
+            "Segments pinned behind the dequeue frontier by the laggiest hazard",
+            g.hazard_lag_segments as f64,
+        );
+        gauge(&mut out, "wfq_active_handles", "Handles currently owned", g.active_handles as f64);
+        gauge(
+            &mut out,
+            "wfq_help_ring_occupancy",
+            "Pending helping records as a fraction of request slots",
+            g.help_ring_occupancy(),
+        );
+        gauge(&mut out, "wfq_pending_enq_reqs", "Enqueue helping records pending", g.pending_enq_reqs as f64);
+        gauge(&mut out, "wfq_pending_deq_reqs", "Dequeue helping records pending", g.pending_deq_reqs as f64);
+    }
+    gauge(
+        &mut out,
+        "wfq_trace_recorders",
+        "Flight recorders registered in this process",
+        wfq_obs::recorder_count() as f64,
+    );
+    out
+}
+
+/// Writes [`render_prometheus`] output to a file.
+pub fn write_metrics(
+    path: &Path,
+    stats: &QueueStats,
+    gauges: Option<&Gauges>,
+) -> io::Result<()> {
+    std::fs::write(path, render_prometheus(stats, gauges))
+}
+
+/// Drains every registered flight recorder and writes a Chrome trace-event
+/// JSON file. Returns the number of events serialized (0 in builds without
+/// the `trace` feature — the file is still written, with an empty event
+/// array, so tooling never has to special-case the disabled build).
+pub fn dump_chrome_trace(path: &Path) -> io::Result<usize> {
+    let traces = wfq_obs::drain();
+    std::fs::write(path, wfq_obs::chrome_trace_json(&traces))?;
+    Ok(traces.iter().map(|t| t.events.len()).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_output_has_counters_and_headers() {
+        let s = QueueStats {
+            enq_fast: 5,
+            deq_empty: 2,
+            ..Default::default()
+        };
+        let out = render_prometheus(&s, None);
+        assert!(out.contains("# TYPE wfq_enq_fast_total counter"));
+        assert!(out.contains("wfq_enq_fast_total 5\n"));
+        assert!(out.contains("wfq_deq_empty_total 2\n"));
+        assert!(!out.contains("wfq_live_segments"), "no gauges requested");
+        // Every sample line is `name value` (format sanity).
+        for line in out.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split(' ').count(), 2, "bad sample line: {line}");
+        }
+    }
+
+    #[test]
+    fn prometheus_output_includes_gauges_when_given() {
+        let g = Gauges {
+            live_segments: 3,
+            hazard_lag_segments: 1,
+            total_handles: 2,
+            pending_enq_reqs: 1,
+            ..Default::default()
+        };
+        let out = render_prometheus(&QueueStats::default(), Some(&g));
+        assert!(out.contains("wfq_live_segments 3\n"));
+        assert!(out.contains("wfq_hazard_lag_segments 1\n"));
+        assert!(out.contains("wfq_help_ring_occupancy 0.25\n"));
+        assert!(out.contains("# TYPE wfq_live_segments gauge"));
+    }
+
+    #[test]
+    fn chrome_trace_dump_writes_a_parsable_document() {
+        let dir = std::env::temp_dir().join("wfq-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace-empty.json");
+        dump_chrome_trace(&path).unwrap();
+        let doc = std::fs::read_to_string(&path).unwrap();
+        let v = crate::json::parse(&doc).expect("trace JSON must parse");
+        assert!(v.get("traceEvents").unwrap().as_arr().is_some());
+        std::fs::remove_file(&path).ok();
+    }
+}

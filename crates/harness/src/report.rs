@@ -53,6 +53,45 @@ pub fn render_markdown(series: &[Series], caption: &str) -> String {
     out
 }
 
+/// Renders series as a machine-readable JSON document (the format of the
+/// committed `results/BENCH_*.json` snapshots):
+///
+/// ```json
+/// {"benchmark": "...", "workload": "...", "series": [
+///   {"queue": "WF-10", "points": [
+///     {"threads": 1, "mean_mops": 10.5, "ci_half": 0.2}]}]}
+/// ```
+///
+/// Hand-rolled (no serde in the build environment); the numbers are plain
+/// `{:.6}` decimals, so the output is also stable for diffing snapshots.
+pub fn render_json(benchmark: &str, workload: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"benchmark\": \"{benchmark}\",\n  \"workload\": \"{workload}\",\n  \"series\": [\n"
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"queue\": \"{}\", \"points\": [\n",
+            s.name.replace('\\', "\\\\").replace('"', "\\\"")
+        ));
+        for (pi, p) in s.points.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"threads\": {}, \"mean_mops\": {:.6}, \"ci_half\": {:.6}}}{}\n",
+                p.threads,
+                p.mean_mops,
+                p.ci_half,
+                if pi + 1 == s.points.len() { "" } else { "," }
+            ));
+        }
+        out.push_str(&format!(
+            "    ]}}{}\n",
+            if si + 1 == series.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Renders series as CSV: `queue,threads,mean_mops,ci_half`.
 pub fn render_csv(series: &[Series]) -> String {
     let mut out = String::from("queue,threads,mean_mops,ci_half\n");
@@ -110,6 +149,28 @@ mod tests {
     fn empty_series_render_gracefully() {
         assert!(render_markdown(&[], "x").contains("**x**"));
         assert_eq!(render_csv(&[]).lines().count(), 1);
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_parser() {
+        let doc = render_json("figure2", "pairwise", &sample());
+        let v = crate::json::parse(&doc).expect("render_json must emit valid JSON");
+        assert_eq!(v.get("benchmark").unwrap().as_str(), Some("figure2"));
+        assert_eq!(v.get("workload").unwrap().as_str(), Some("pairwise"));
+        let series = v.get("series").unwrap().as_arr().unwrap();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].get("queue").unwrap().as_str(), Some("WF-10"));
+        let pts = series[0].get("points").unwrap().as_arr().unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[1].get("threads").unwrap().as_num(), Some(2.0));
+        assert_eq!(pts[1].get("mean_mops").unwrap().as_num(), Some(12.0));
+    }
+
+    #[test]
+    fn json_of_empty_series_is_valid() {
+        let doc = render_json("figure2", "pairwise", &[]);
+        let v = crate::json::parse(&doc).unwrap();
+        assert_eq!(v.get("series").unwrap().as_arr().unwrap().len(), 0);
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Chrome trace-event JSON serialization.
+//!
+//! Emits the subset of the [Trace Event Format] that `chrome://tracing`
+//! and Perfetto both load: one process (`pid` 1), one track per recorder
+//! (`tid` = recorder id, labelled with the thread name via an `M` metadata
+//! event), slow-path operations as complete (`"X"`) duration events, and
+//! everything else as thread-scoped instant (`"i"`) events. Timestamps are
+//! microseconds with sub-µs fractions, as the format requires.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//!
+//! Serialization is hand-rolled: the repository builds in a container
+//! without network access, so no serde — and the format needed here is a
+//! flat array of small objects, comfortably within `format!` territory.
+
+use std::fmt::Write as _;
+
+use crate::event::{Event, HandleTrace};
+
+/// Escapes a string for a JSON string literal (control chars, `"`, `\`).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn ts_us(ts_ns: u64) -> String {
+    format!("{}.{:03}", ts_ns / 1_000, ts_ns % 1_000)
+}
+
+fn push_instant(out: &mut String, tid: u64, e: &Event, suffix: &str) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\
+         \"ts\":{},\"pid\":1,\"tid\":{},\"args\":{{\"{}\":{}}}}}",
+        e.kind.name(),
+        suffix,
+        e.kind.category(),
+        ts_us(e.ts_ns),
+        tid,
+        e.kind.arg_label(),
+        e.arg
+    );
+}
+
+fn push_complete(out: &mut String, tid: u64, enter: &Event, exit: &Event) {
+    let dur_ns = exit.ts_ns.saturating_sub(enter.ts_ns);
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+         \"pid\":1,\"tid\":{},\"args\":{{\"{}\":{},\"exit_{}\":{}}}}}",
+        enter.kind.name(),
+        enter.kind.category(),
+        ts_us(enter.ts_ns),
+        ts_us(dur_ns),
+        tid,
+        enter.kind.arg_label(),
+        enter.arg,
+        exit.kind.arg_label(),
+        exit.arg
+    );
+}
+
+/// Serializes drained traces to a Chrome trace-event JSON document.
+///
+/// Slow-path enter/exit pairs on the same recorder become duration events;
+/// an enter whose exit was lost (ring wrap, thread died mid-op) degrades to
+/// an instant marked `(unfinished)`, and an orphaned exit to one marked
+/// `(orphan)` — the trace stays loadable either way.
+pub fn chrome_trace_json(traces: &[HandleTrace]) -> String {
+    let mut events = String::new();
+    let mut first = true;
+    let mut sep = |events: &mut String| {
+        if first {
+            first = false;
+        } else {
+            events.push_str(",\n");
+        }
+    };
+
+    for t in traces {
+        // Track label: thread name + drop count, once per recorder.
+        sep(&mut events);
+        let _ = write!(
+            events,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+             \"args\":{{\"name\":\"{} (handle {}{})\"}}}}",
+            t.id,
+            escape_json(&t.thread),
+            t.id,
+            if t.dropped > 0 {
+                format!(", {} events dropped", t.dropped)
+            } else {
+                String::new()
+            }
+        );
+
+        // One pass in ring (≈ time) order, pairing spans. A handle runs
+        // one operation at a time, so at most one span is open at once.
+        let mut open: Option<&Event> = None;
+        for e in &t.events {
+            if e.kind.is_span_enter() {
+                if let Some(prev) = open.take() {
+                    sep(&mut events);
+                    push_instant(&mut events, t.id, prev, " (unfinished)");
+                }
+                open = Some(e);
+            } else if e.kind.is_span_exit() {
+                match open.take() {
+                    Some(enter) if enter.kind.span_exit() == Some(e.kind) => {
+                        sep(&mut events);
+                        push_complete(&mut events, t.id, enter, e);
+                    }
+                    Some(prev) => {
+                        sep(&mut events);
+                        push_instant(&mut events, t.id, prev, " (unfinished)");
+                        sep(&mut events);
+                        push_instant(&mut events, t.id, e, " (orphan)");
+                    }
+                    None => {
+                        sep(&mut events);
+                        push_instant(&mut events, t.id, e, " (orphan)");
+                    }
+                }
+            } else {
+                sep(&mut events);
+                push_instant(&mut events, t.id, e, "");
+            }
+        }
+        if let Some(enter) = open {
+            sep(&mut events);
+            push_instant(&mut events, t.id, enter, " (unfinished)");
+        }
+    }
+
+    format!(
+        "{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n{events}\n]}}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, HandleTrace};
+
+    fn ev(ts_ns: u64, kind: EventKind, arg: u64) -> Event {
+        Event { ts_ns, kind, arg }
+    }
+
+    fn trace(id: u64, events: Vec<Event>) -> HandleTrace {
+        HandleTrace {
+            id,
+            thread: format!("worker-{id}"),
+            events,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn empty_input_is_still_a_document() {
+        let doc = chrome_trace_json(&[]);
+        assert!(doc.contains("\"traceEvents\""));
+        assert!(doc.starts_with('{') && doc.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn spans_become_complete_events() {
+        let doc = chrome_trace_json(&[trace(
+            0,
+            vec![
+                ev(1_000, EventKind::EnqSlowEnter, 5),
+                ev(4_500, EventKind::EnqSlowExit, 6),
+            ],
+        )]);
+        assert!(doc.contains("\"ph\":\"X\""), "no duration event: {doc}");
+        assert!(doc.contains("\"name\":\"enq_slow\""));
+        assert!(doc.contains("\"ts\":1.000"));
+        assert!(doc.contains("\"dur\":3.500"));
+        assert!(doc.contains("\"cell\":5"));
+        assert!(doc.contains("\"exit_cell\":6"));
+    }
+
+    #[test]
+    fn point_events_become_instants_with_args() {
+        let doc = chrome_trace_json(&[trace(
+            3,
+            vec![ev(2_000, EventKind::HelpDeqAnnounce, 42)],
+        )]);
+        assert!(doc.contains("\"ph\":\"i\""));
+        assert!(doc.contains("\"tid\":3"));
+        assert!(doc.contains("\"cell\":42"));
+        assert!(doc.contains("\"cat\":\"help\""));
+    }
+
+    #[test]
+    fn unmatched_spans_degrade_to_instants() {
+        let doc = chrome_trace_json(&[trace(
+            0,
+            vec![
+                ev(10, EventKind::DeqSlowExit, 1),  // orphan exit
+                ev(20, EventKind::DeqSlowEnter, 2), // never exits
+            ],
+        )]);
+        assert!(doc.contains("deq_slow_exit (orphan)"));
+        assert!(doc.contains("deq_slow (unfinished)"));
+        assert!(!doc.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn thread_names_are_escaped() {
+        let mut t = trace(0, vec![]);
+        t.thread = "evil\"name\\with\ncontrol".into();
+        let doc = chrome_trace_json(&[t]);
+        assert!(doc.contains("evil\\\"name\\\\with\\ncontrol"));
+    }
+
+    #[test]
+    fn every_recorder_gets_a_metadata_track() {
+        let doc = chrome_trace_json(&[trace(0, vec![]), trace(7, vec![])]);
+        assert_eq!(doc.matches("\"ph\":\"M\"").count(), 2);
+        assert!(doc.contains("worker-7 (handle 7)"));
+    }
+}

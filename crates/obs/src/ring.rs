@@ -1,0 +1,184 @@
+//! The fixed-size SPSC event ring behind each recorder.
+//!
+//! One ring has exactly one writer — the thread that owns the recorder —
+//! and is read concurrently by drainers (the harness, the fuzzer's failure
+//! dump) and never blocks either side:
+//!
+//! - The writer's protocol is four relaxed/release stores per event:
+//!   invalidate the slot's sequence word, write the payload, publish the
+//!   sequence, bump the write cursor. No CAS, no branch on shared state.
+//! - A reader snapshots the cursor and walks the most recent `capacity`
+//!   slots, accepting a slot only if its sequence word reads the same slot
+//!   generation before *and* after the payload (a per-slot seqlock). A slot
+//!   being overwritten mid-read is simply skipped — a flight recorder
+//!   prefers losing one event to stalling the protocol it is observing.
+//!
+//! The ring overwrites oldest-first, so after a failure it holds the *last*
+//! `capacity` events of each thread — the window that explains the failure.
+
+use core::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use wfq_sync::CachePadded;
+
+use crate::event::EventKind;
+
+/// A raw ring entry: timestamp still in raw clock units.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RawEvent {
+    pub ts_raw: u64,
+    pub kind: EventKind,
+    pub arg: u64,
+}
+
+#[derive(Default)]
+struct Slot {
+    /// `index + 1` of the event stored here; 0 while empty or mid-write.
+    seq: AtomicU64,
+    ts: AtomicU64,
+    kind: AtomicU32,
+    arg: AtomicU64,
+}
+
+pub(crate) struct EventRing {
+    mask: u64,
+    /// Monotonic count of events ever pushed (the next write index).
+    wcur: CachePadded<AtomicU64>,
+    slots: Box<[Slot]>,
+}
+
+impl EventRing {
+    /// Creates a ring holding `capacity` events, rounded up to a power of
+    /// two (minimum 16).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(16).next_power_of_two();
+        let slots = (0..cap).map(|_| Slot::default()).collect::<Vec<_>>();
+        Self {
+            mask: cap as u64 - 1,
+            wcur: CachePadded::new(AtomicU64::new(0)),
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever pushed (not the resident count).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn pushed(&self) -> u64 {
+        self.wcur.load(Ordering::Acquire)
+    }
+
+    /// Appends one event. **Single-writer**: only the owning thread may
+    /// call this; `&self` because the owner reaches the ring through a
+    /// shared [`Arc`](std::sync::Arc).
+    #[inline]
+    pub fn push(&self, ts_raw: u64, kind: EventKind, arg: u64) {
+        let idx = self.wcur.load(Ordering::Relaxed);
+        let slot = &self.slots[(idx & self.mask) as usize];
+        // Invalidate, so a concurrent reader can't accept a half-new slot.
+        slot.seq.store(0, Ordering::Release);
+        slot.ts.store(ts_raw, Ordering::Relaxed);
+        slot.kind.store(kind as u32, Ordering::Relaxed);
+        slot.arg.store(arg, Ordering::Relaxed);
+        // Publish payload (Release), then advance the cursor. The cursor
+        // store is Release too so `pushed()` readers see published slots.
+        slot.seq.store(idx + 1, Ordering::Release);
+        self.wcur.store(idx + 1, Ordering::Release);
+    }
+
+    /// Reads the resident events, oldest first, skipping any slot the
+    /// writer is concurrently overwriting. Returns the events and the
+    /// number dropped to wrap-around before this snapshot.
+    pub fn snapshot(&self) -> (Vec<RawEvent>, u64) {
+        let end = self.wcur.load(Ordering::Acquire);
+        let start = end.saturating_sub(self.slots.len() as u64);
+        let mut out = Vec::with_capacity((end - start) as usize);
+        for idx in start..end {
+            let slot = &self.slots[(idx & self.mask) as usize];
+            if slot.seq.load(Ordering::Acquire) != idx + 1 {
+                continue; // overwritten or mid-write
+            }
+            let ts_raw = slot.ts.load(Ordering::Relaxed);
+            let kind = slot.kind.load(Ordering::Relaxed);
+            let arg = slot.arg.load(Ordering::Relaxed);
+            // Re-check: if the writer lapped us mid-read, discard.
+            if slot.seq.load(Ordering::Acquire) != idx + 1 {
+                continue;
+            }
+            let Some(kind) = EventKind::from_u8(kind as u8) else {
+                continue; // torn beyond recognition; drop it
+            };
+            out.push(RawEvent { ts_raw, kind, arg });
+        }
+        (out, start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(EventRing::with_capacity(0).capacity(), 16);
+        assert_eq!(EventRing::with_capacity(17).capacity(), 32);
+        assert_eq!(EventRing::with_capacity(1024).capacity(), 1024);
+    }
+
+    #[test]
+    fn push_then_snapshot_roundtrips_in_order() {
+        let r = EventRing::with_capacity(64);
+        for i in 0..10u64 {
+            r.push(i * 100, EventKind::EnqFast, i);
+        }
+        let (evs, dropped) = r.snapshot();
+        assert_eq!(dropped, 0);
+        assert_eq!(evs.len(), 10);
+        for (i, e) in evs.iter().enumerate() {
+            assert_eq!(e.ts_raw, i as u64 * 100);
+            assert_eq!(e.kind, EventKind::EnqFast);
+            assert_eq!(e.arg, i as u64);
+        }
+    }
+
+    #[test]
+    fn overwrite_keeps_the_most_recent_window() {
+        let r = EventRing::with_capacity(16);
+        for i in 0..100u64 {
+            r.push(i, EventKind::DeqFast, i);
+        }
+        let (evs, dropped) = r.snapshot();
+        assert_eq!(dropped, 100 - 16);
+        assert_eq!(evs.len(), 16);
+        assert_eq!(evs.first().unwrap().arg, 84);
+        assert_eq!(evs.last().unwrap().arg, 99);
+        assert_eq!(r.pushed(), 100);
+    }
+
+    #[test]
+    fn concurrent_reader_never_sees_torn_kinds() {
+        // The writer floods the ring while a reader snapshots repeatedly;
+        // every accepted event must be internally consistent (ts == arg,
+        // our invariant below) — torn reads must be skipped, not surfaced.
+        let r = EventRing::with_capacity(32);
+        std::thread::scope(|s| {
+            let r = &r;
+            s.spawn(move || {
+                for i in 0..200_000u64 {
+                    r.push(i, EventKind::HelpEnqCommit, i);
+                }
+            });
+            s.spawn(move || {
+                for _ in 0..2_000 {
+                    let (evs, _) = r.snapshot();
+                    for e in evs {
+                        assert_eq!(e.ts_raw, e.arg, "torn slot surfaced");
+                        assert_eq!(e.kind, EventKind::HelpEnqCommit);
+                    }
+                }
+            });
+        });
+    }
+}

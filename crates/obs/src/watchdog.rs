@@ -1,0 +1,240 @@
+//! The starvation watchdog.
+//!
+//! Wait-freedom bounds the *number of steps* an operation takes, not the
+//! wall time a descheduled or livelocked thread spends inside it — and a
+//! bug in the helping protocol (a helper that never completes a request, a
+//! request left pending by a lost transition) manifests exactly as a thread
+//! stuck in a slow-path op while everyone else makes progress. The watchdog
+//! turns that symptom into a report: it samples every recorder's progress
+//! words (slow-path entry timestamp + completed-op epoch, maintained by
+//! [`record!`](crate::record) on span enter/exit) and flags any recorder
+//! that has been inside one slow-path operation longer than a threshold.
+//!
+//! The sampled words are plain relaxed/acquire atomics on the recorder —
+//! the watchdog adds zero work to the instrumented threads and can run in
+//! production builds with `trace` enabled.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::clock;
+use crate::event::EventKind;
+use crate::recorder::registry_snapshot;
+
+/// Watchdog sampling parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogConfig {
+    /// How often to sample the recorders.
+    pub interval: Duration,
+    /// How long a thread may sit inside one slow-path op before it is
+    /// reported. Should be orders of magnitude above an honest slow path
+    /// (which completes in microseconds) — the default is 100 ms.
+    pub threshold: Duration,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            interval: Duration::from_millis(10),
+            threshold: Duration::from_millis(100),
+        }
+    }
+}
+
+/// One detected stall: a recorder that entered a slow-path op and hadn't
+/// left it after [`WatchdogConfig::threshold`].
+#[derive(Debug, Clone)]
+pub struct StallReport {
+    /// Recorder id (matches the Chrome trace `tid`).
+    pub recorder: u64,
+    /// Thread name at registration.
+    pub thread: String,
+    /// Which slow path it is stuck in.
+    pub kind: EventKind,
+    /// How long it had been stuck when sampled.
+    pub stalled: Duration,
+    /// The recorder's completed-op epoch at detection (for correlating
+    /// with later samples: an unchanged epoch means still no progress).
+    pub epoch: u64,
+}
+
+/// A running watchdog thread. Dropping it stops and joins the thread.
+pub struct Watchdog {
+    stop: Arc<AtomicBool>,
+    reports: Arc<Mutex<Vec<StallReport>>>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Spawns a watchdog that collects reports (readable via
+    /// [`reports`](Self::reports)).
+    pub fn spawn(config: WatchdogConfig) -> Self {
+        Self::spawn_with(config, None)
+    }
+
+    /// Spawns a watchdog that additionally invokes `callback` on every new
+    /// report (e.g. to log to stderr as soon as a stall is seen).
+    pub fn spawn_with_callback(
+        config: WatchdogConfig,
+        callback: impl Fn(&StallReport) + Send + 'static,
+    ) -> Self {
+        Self::spawn_with(config, Some(Box::new(callback)))
+    }
+
+    fn spawn_with(
+        config: WatchdogConfig,
+        callback: Option<Box<dyn Fn(&StallReport) + Send>>,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let reports = Arc::new(Mutex::new(Vec::new()));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let reports = Arc::clone(&reports);
+            std::thread::Builder::new()
+                .name("wfq-watchdog".into())
+                .spawn(move || watchdog_loop(config, &stop, &reports, callback))
+                .expect("spawn watchdog thread")
+        };
+        Self {
+            stop,
+            reports,
+            thread: Some(thread),
+        }
+    }
+
+    /// All stalls detected so far. One entry per stalled *episode*: a
+    /// recorder stuck through many sampling rounds is reported once until
+    /// it makes progress and stalls again.
+    pub fn reports(&self) -> Vec<StallReport> {
+        self.reports.lock().unwrap().clone()
+    }
+
+    /// Stops the sampling thread and returns the collected reports.
+    pub fn stop(mut self) -> Vec<StallReport> {
+        self.shutdown();
+        std::mem::take(&mut *self.reports.lock().unwrap())
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn watchdog_loop(
+    config: WatchdogConfig,
+    stop: &AtomicBool,
+    reports: &Mutex<Vec<StallReport>>,
+    callback: Option<Box<dyn Fn(&StallReport) + Send>>,
+) {
+    // (recorder id, slow_since_raw) of episodes already reported: the same
+    // stall is not re-reported every interval.
+    let mut seen: Vec<(u64, u64)> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(config.interval);
+        let now = clock::raw_now();
+        for rec in registry_snapshot() {
+            let (since, kind, epoch) = rec.progress();
+            if since == 0 {
+                seen.retain(|&(id, _)| id != rec.id);
+                continue;
+            }
+            let stalled_ns = clock::raw_delta_ns(since, now);
+            if stalled_ns < config.threshold.as_nanos() as u64 {
+                continue;
+            }
+            if seen.contains(&(rec.id, since)) {
+                continue;
+            }
+            seen.push((rec.id, since));
+            let report = StallReport {
+                recorder: rec.id,
+                thread: rec.thread.clone(),
+                kind: kind.unwrap_or(EventKind::EnqSlowEnter),
+                stalled: Duration::from_nanos(stalled_ns),
+                epoch,
+            };
+            if let Some(cb) = &callback {
+                cb(&report);
+            }
+            reports.lock().unwrap().push(report);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::register_current_thread;
+
+    fn quick() -> WatchdogConfig {
+        WatchdogConfig {
+            interval: Duration::from_millis(2),
+            threshold: Duration::from_millis(20),
+        }
+    }
+
+    /// The acceptance-criteria test: an artificially parked slow-path
+    /// thread must be detected, and a healthy one must not be.
+    #[test]
+    fn detects_a_parked_slow_path_thread() {
+        let rec = register_current_thread();
+        let dog = Watchdog::spawn(quick());
+        // Enter a slow path and "park" (never exit) past the threshold.
+        rec.record(EventKind::DeqSlowEnter, 1);
+        std::thread::sleep(Duration::from_millis(80));
+        let reports = dog.stop();
+        let mine: Vec<_> = reports.iter().filter(|r| r.recorder == rec.id).collect();
+        assert!(!mine.is_empty(), "parked thread not detected: {reports:?}");
+        assert_eq!(mine[0].kind, EventKind::DeqSlowEnter);
+        assert!(mine[0].stalled >= Duration::from_millis(20));
+        // One episode → one report, however many sampling rounds passed.
+        assert_eq!(mine.len(), 1, "stall re-reported: {mine:?}");
+        rec.record(EventKind::DeqSlowExit, 1); // unpark for later tests
+    }
+
+    #[test]
+    fn healthy_progress_is_never_reported() {
+        let rec = register_current_thread();
+        let dog = Watchdog::spawn(quick());
+        for i in 0..50 {
+            rec.record(EventKind::EnqSlowEnter, i);
+            rec.record(EventKind::EnqSlowExit, i);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let reports = dog.stop();
+        assert!(
+            reports.iter().all(|r| r.recorder != rec.id),
+            "healthy thread reported: {reports:?}"
+        );
+    }
+
+    #[test]
+    fn callback_fires_on_detection() {
+        let hits = Arc::new(Mutex::new(0u32));
+        let rec = register_current_thread();
+        let dog = {
+            let hits = Arc::clone(&hits);
+            let id = rec.id;
+            Watchdog::spawn_with_callback(quick(), move |r| {
+                if r.recorder == id {
+                    *hits.lock().unwrap() += 1;
+                }
+            })
+        };
+        rec.record(EventKind::EnqSlowEnter, 1);
+        std::thread::sleep(Duration::from_millis(60));
+        rec.record(EventKind::EnqSlowExit, 1);
+        drop(dog);
+        assert_eq!(*hits.lock().unwrap(), 1);
+    }
+}

@@ -1,7 +1,9 @@
-//! Latency-sensitive telemetry: why wait-freedom matters.
+//! Latency-sensitive telemetry: why wait-freedom matters — now with the
+//! full observability stack attached.
 //!
 //! ```text
-//! cargo run -p wfq-examples --release --bin telemetry
+//! cargo run -p wfq-examples --release --bin telemetry -- \
+//!     [--trace out.trace.json] [--metrics-out metrics.prom]
 //! ```
 //!
 //! The paper: wait-free structures are "particularly desirable for mission
@@ -11,21 +13,31 @@
 //! resources (simulating preemption of a lock holder). The mutex queue's
 //! tail latency degrades by orders of magnitude; the wait-free queue's
 //! worst case stays bounded.
+//!
+//! The wait-free run doubles as a smoke test of the observability layer
+//! (`wfq-obs`): a starvation watchdog samples the flight recorders while
+//! the workload runs, the path statistics are printed via `QueueStats`'
+//! Table-2-style `Display`, and `--trace` / `--metrics-out` write the
+//! Chrome trace and Prometheus exposition artifacts. Build with
+//! `--features trace` to get events in the trace; without it the run is
+//! identical (the recorder compiles to nothing) and the artifacts are
+//! valid-but-empty.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use wfq_baselines::{BenchQueue, MutexQueue, QueueHandle};
 use wfq_harness::histogram::{fmt_ns, Histogram};
+use wfq_obs::{Watchdog, WatchdogConfig};
 use wfqueue::RawQueue;
 
 const OPS: usize = 120_000;
 
-/// Runs enqueue+dequeue pairs on `Q` while a rogue thread periodically
+/// Runs enqueue+dequeue pairs on `q` while a rogue thread periodically
 /// bursts traffic and sleeps (for the mutex queue, a descheduled peer can
 /// hold the lock). Returns the latency histogram of the measured thread.
-fn run_with_disturbance<Q: BenchQueue>(hold: Duration) -> Histogram {
-    let q = Q::new();
+fn run_with_disturbance<Q: BenchQueue>(q: &Q, hold: Duration) -> Histogram {
     let stop = AtomicBool::new(false);
     let mut hist = Histogram::new();
 
@@ -36,7 +48,6 @@ fn run_with_disturbance<Q: BenchQueue>(hold: Duration) -> Histogram {
         // consumer pattern: we emulate a descheduled holder by pausing
         // between acquire-heavy bursts.
         {
-            let q = &q;
             let stop = &stop;
             s.spawn(move || {
                 let mut h = q.register();
@@ -54,7 +65,6 @@ fn run_with_disturbance<Q: BenchQueue>(hold: Duration) -> Histogram {
         }
         // The measured thread.
         {
-            let q = &q;
             let stop = &stop;
             let hist = &mut hist;
             s.spawn(move || {
@@ -84,12 +94,65 @@ fn report(name: &str, hist: &Histogram) {
     );
 }
 
+/// `--key value` flags (the example keeps its CLI dependency-free).
+fn flag_value(args: &[String], key: &str) -> Option<PathBuf> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out = flag_value(&args, "--trace");
+    let metrics_out = flag_value(&args, "--metrics-out");
+
     let hold = Duration::from_micros(200);
     println!("per-operation latency under a disruptive peer (hold = {hold:?}, {OPS} pairs)\n");
-    let wf = run_with_disturbance::<RawQueue>(hold);
+
+    // The wait-free run, observed: a starvation watchdog samples every
+    // flight recorder while the workload runs. A healthy run prints no
+    // stall reports — a thread stuck >100 ms inside one slow-path op would.
+    let dog = Watchdog::spawn_with_callback(WatchdogConfig::default(), |r| {
+        eprintln!(
+            "WATCHDOG: recorder {} ({}) stuck in {} for {:?}",
+            r.recorder,
+            r.thread,
+            r.kind.name(),
+            r.stalled
+        );
+    });
+    let q = RawQueue::new();
+    let wf = run_with_disturbance(&q, hold);
     report("WF-10", &wf);
-    let mutex = run_with_disturbance::<MutexQueue>(hold);
+    let stalls = dog.stop();
+    println!(
+        "\nwatchdog: {} stall(s) detected across {} recorder(s)",
+        stalls.len(),
+        wfq_obs::recorder_count()
+    );
+    println!("\nexecution-path statistics (Table 2 layout):\n{}", q.stats());
+
+    if let Some(path) = &metrics_out {
+        wfq_harness::write_metrics(path, &q.stats(), Some(&q.gauges()))
+            .expect("write metrics");
+        println!("prometheus metrics written to {}", path.display());
+    }
+    if let Some(path) = &trace_out {
+        let events = wfq_harness::dump_chrome_trace(path).expect("write trace");
+        println!(
+            "chrome trace written to {} ({events} events{})",
+            path.display(),
+            if wfq_obs::ENABLED {
+                ""
+            } else {
+                "; rebuild with --features trace to record events"
+            }
+        );
+    }
+
+    let mq = MutexQueue::new();
+    let mutex = run_with_disturbance(&mq, hold);
     report("MUTEX", &mutex);
     println!(
         "\nwait-free p99.9 = {}, mutex p99.9 = {}",
