@@ -68,6 +68,17 @@ pub trait BenchQueue: Send + Sync + Sized {
     const NAME: &'static str;
     /// Creates an empty queue.
     fn new() -> Self;
+    /// Creates an empty queue bounded to at most `ceiling` live segments,
+    /// where the implementation supports it (the wait-free queue's
+    /// bounded-memory mode). Baselines without a bounded mode ignore the
+    /// ceiling — the harness prints which queues honored it.
+    fn with_ceiling(ceiling: Option<u64>) -> Self {
+        let _ = ceiling;
+        Self::new()
+    }
+    /// Whether [`with_ceiling`](Self::with_ceiling) actually bounds memory
+    /// for this implementation.
+    const HONORS_CEILING: bool = false;
     /// Registers the calling thread.
     fn register(&self) -> Self::Handle<'_>;
 }
@@ -90,8 +101,16 @@ mod wf_impl {
     impl BenchQueue for RawQueue {
         type Handle<'q> = Handle<'q>;
         const NAME: &'static str = "WF-10";
+        const HONORS_CEILING: bool = true;
         fn new() -> Self {
             RawQueue::with_config(Config::wf10())
+        }
+        fn with_ceiling(ceiling: Option<u64>) -> Self {
+            let mut config = Config::wf10();
+            if let Some(c) = ceiling {
+                config = config.with_segment_ceiling(c);
+            }
+            RawQueue::with_config(config)
         }
         fn register(&self) -> Self::Handle<'_> {
             RawQueue::register(self)
@@ -118,8 +137,16 @@ mod wf_impl {
     impl BenchQueue for Wf0 {
         type Handle<'q> = Wf0Handle<'q>;
         const NAME: &'static str = "WF-0";
+        const HONORS_CEILING: bool = true;
         fn new() -> Self {
             Wf0(RawQueue::with_config(Config::wf0()))
+        }
+        fn with_ceiling(ceiling: Option<u64>) -> Self {
+            let mut config = Config::wf0();
+            if let Some(c) = ceiling {
+                config = config.with_segment_ceiling(c);
+            }
+            Wf0(RawQueue::with_config(config))
         }
         fn register(&self) -> Self::Handle<'_> {
             Wf0Handle(self.0.register())

@@ -107,9 +107,40 @@ fn bench_inject_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// Guardrail for bounded-memory mode: on an *unbounded* queue,
+/// `try_enqueue` is the plain enqueue plus one branch on a constant
+/// (`config.segment_ceiling.is_some()`), never a pool or ceiling atomic —
+/// so a pair loop driven through `try_enqueue` must price identically to
+/// one driven through `enqueue`. A regression here means the admission
+/// gate leaked onto the paper's fast path.
+fn bench_try_enqueue_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("try_enqueue_overhead");
+    g.sample_size(20).measurement_time(Duration::from_secs(1));
+
+    let q = <RawQueue as BenchQueue>::new();
+    let mut h = RawQueue::register(&q);
+    let mut i = 0u64;
+    g.bench_function("pair_enqueue", |b| {
+        b.iter(|| {
+            i += 1;
+            h.enqueue(i);
+            std::hint::black_box(h.dequeue())
+        })
+    });
+    g.bench_function("pair_try_enqueue_unbounded", |b| {
+        b.iter(|| {
+            i += 1;
+            h.try_enqueue(i).expect("unbounded queue never rejects");
+            std::hint::black_box(h.dequeue())
+        })
+    });
+    g.finish();
+}
+
 fn main() {
     let mut c = Criterion::new();
     bench_atomics(&mut c);
     bench_single_op(&mut c);
     bench_inject_overhead(&mut c);
+    bench_try_enqueue_overhead(&mut c);
 }

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run -p wfq-bench --release --bin table2 -- [--ops N] [--patience P] \
-//!     [--metrics-out metrics.prom] [--trace out.trace.json]
+//!     [--segment-ceiling S] [--metrics-out metrics.prom] [--trace out.trace.json]
 //! ```
 //!
 //! `--metrics-out` writes the highest-thread-count run's statistics in the
@@ -32,6 +32,7 @@ fn main() {
             total_ops: args.num("ops", 400_000),
             workload: Workload::FiftyEnqueues,
             pin: !args.flag("no-pin"),
+            segment_ceiling: args.get("segment-ceiling").and_then(|s| s.parse().ok()),
             ..BenchConfig::default()
         };
         eprintln!("table2: running WF-{patience} with {threads} threads ...");

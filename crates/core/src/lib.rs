@@ -67,9 +67,11 @@
 
 mod cell;
 mod config;
+mod full;
 mod handle;
 mod owned;
 mod pack;
+mod pool;
 mod raw;
 mod reclaim;
 mod request;
@@ -78,6 +80,7 @@ mod stats;
 mod typed;
 
 pub use config::Config;
+pub use full::Full;
 pub use owned::{OwnedHandle, OwnedLocalHandle};
 pub use raw::{Handle, RawQueue};
 pub use stats::{Gauges, QueueStats};
@@ -92,7 +95,7 @@ pub const DEFAULT_PATIENCE: u32 = 10;
 /// Every named fault-injection point compiled into this crate
 /// (`wfq_sync::inject!` sites). The schedule fuzzer asserts its sweep
 /// drives each of these at least once; keep this list in sync with the
-/// `inject!("...")` calls in `raw.rs` and `reclaim.rs`.
+/// `inject!("...")` calls in `raw.rs`, `reclaim.rs`, and `pool.rs`.
 ///
 /// Points are named `<protocol>::<window>` after the race window they sit
 /// in, not the function they appear in (see DESIGN.md).
@@ -120,4 +123,9 @@ pub const FAULT_POINTS: &[&str] = &[
     "reclaim::pre_update_cas",
     "reclaim::reverse_scan",
     "reclaim::pre_free",
+    // reclaim.rs / pool.rs — bounded-memory mode (DESIGN.md §9).
+    "reclaim::forced",
+    "pool::push",
+    "pool::pop",
+    "pool::stall",
 ];

@@ -22,6 +22,7 @@
 
 use std::sync::Arc;
 
+use crate::full::Full;
 use crate::handle::HandleNode;
 use crate::raw::RawQueue;
 use crate::typed::WfQueue;
@@ -50,6 +51,14 @@ impl<const N: usize> OwnedHandle<N> {
     pub fn enqueue(&mut self, v: u64) {
         // SAFETY: node is live while the Arc'd queue lives.
         self.queue.enqueue_internal(unsafe { &*self.node }, v);
+    }
+
+    /// Enqueues `v`, failing fast with [`Full`] at the segment ceiling
+    /// (see [`Handle::try_enqueue`](crate::Handle::try_enqueue)).
+    #[inline]
+    pub fn try_enqueue(&mut self, v: u64) -> Result<(), Full> {
+        // SAFETY: node is live while the Arc'd queue lives.
+        self.queue.try_enqueue_internal(unsafe { &*self.node }, v)
     }
 
     /// Dequeues the oldest value, or `None` if observed empty. Wait-free.
@@ -96,6 +105,22 @@ impl<T: Send, const N: usize> OwnedLocalHandle<T, N> {
         self.queue
             .raw()
             .enqueue_internal(unsafe { &*self.node }, ptr as u64);
+    }
+
+    /// Enqueues `value`, failing fast with [`Full`] — which hands the
+    /// value back — at the segment ceiling (see
+    /// [`LocalHandle::try_enqueue`](crate::LocalHandle::try_enqueue)).
+    pub fn try_enqueue(&mut self, value: T) -> Result<(), Full<T>> {
+        let ptr = Box::into_raw(Box::new(value));
+        // SAFETY: node live while the Arc'd queue lives.
+        self.queue
+            .raw()
+            .try_enqueue_internal(unsafe { &*self.node }, ptr as u64)
+            .map_err(|Full(())| {
+                // SAFETY: the rejected value never entered the queue; the
+                // box is still exclusively ours.
+                Full(unsafe { *Box::from_raw(ptr as *mut T) })
+            })
     }
 
     /// Dequeues the oldest value, or `None` if observed empty. Wait-free.

@@ -22,10 +22,12 @@ use crate::cell::{
     is_valid_value, Cell, DEQ_BOTTOM, ENQ_BOTTOM, ENQ_TOP, VAL_BOTTOM, VAL_TOP,
 };
 use crate::config::Config;
+use crate::full::Full;
 use crate::handle::{HandleNode, Registry, NO_HAZARD};
 use crate::pack::ReqState;
+use crate::pool::SegmentPool;
 use crate::request::DeqReq;
-use crate::segment::{find_cell, Segment};
+use crate::segment::{find_cell, SegSource, Segment};
 use crate::stats::{Gauges, HandleStats, QueueStats};
 use crate::DEFAULT_SEGMENT_SIZE;
 
@@ -79,9 +81,15 @@ pub struct RawQueue<const N: usize = DEFAULT_SEGMENT_SIZE> {
     pub(crate) oldest_id: CachePadded<AtomicI64>,
     /// Registration bookkeeping (ring anchor, free pool, master node list).
     pub(crate) registry: Mutex<Registry<N>>,
-    /// Number of nodes ever registered (readable without the lock; feeds
-    /// the automatic MAX_GARBAGE threshold).
+    /// Number of ring nodes ever created (readable without the lock).
     pub(crate) handle_count: AtomicU64,
+    /// Number of *live* handles (registered minus dropped). This — not
+    /// `handle_count` — feeds the automatic MAX_GARBAGE threshold: under
+    /// register/drop churn the ever-registered count inflates forever and
+    /// would make reclamation permanently lazier.
+    pub(crate) active_count: AtomicU64,
+    /// Segment recycling pool and allocation gate (inert when unbounded).
+    pub(crate) pool: SegmentPool<N>,
     pub(crate) config: Config,
 }
 
@@ -128,7 +136,19 @@ impl<const N: usize> RawQueue<N> {
             oldest_id: CachePadded::new(AtomicI64::new(0)),
             registry: Mutex::new(Registry::new()),
             handle_count: AtomicU64::new(0),
+            active_count: AtomicU64::new(0),
+            pool: SegmentPool::new(config.segment_ceiling),
             config,
+        }
+    }
+
+    /// Per-operation view of where list extensions draw segments from.
+    #[inline]
+    fn src<'a>(&'a self, h: &'a HandleNode<N>) -> SegSource<'a, N> {
+        SegSource {
+            spare: &h.spare,
+            alloc_count: &h.stats.segs_alloc,
+            pool: &self.pool,
         }
     }
 
@@ -156,6 +176,7 @@ impl<const N: usize> RawQueue<N> {
         if let Some(node) = reg.free.pop() {
             // SAFETY: pooled nodes stay valid for the queue's lifetime.
             unsafe { (*node).active.store(true, Ordering::Relaxed) };
+            self.active_count.fetch_add(1, Ordering::Relaxed);
             return node;
         }
         // Fresh node: its initial segment assignment and ring splice must
@@ -168,6 +189,7 @@ impl<const N: usize> RawQueue<N> {
         let node = HandleNode::boxed(seg, seg_id);
         reg.splice(node);
         self.handle_count.fetch_add(1, Ordering::Relaxed);
+        self.active_count.fetch_add(1, Ordering::Relaxed);
         self.release_reclaim_token(token);
         node
     }
@@ -178,6 +200,7 @@ impl<const N: usize> RawQueue<N> {
         // SAFETY: node is live; after deactivation helpers skip its idle
         // requests and a future registration may adopt it.
         unsafe { (*node).active.store(false, Ordering::Relaxed) };
+        self.active_count.fetch_sub(1, Ordering::Relaxed);
         reg.free.push(node);
     }
 
@@ -291,6 +314,12 @@ impl<const N: usize> RawQueue<N> {
         if let Some(min) = g.min_hazard {
             g.hazard_lag_segments = (head_index / N as u64).saturating_sub(min);
         }
+        g.pooled_segments = self.pool.pooled();
+        g.segment_ceiling = self.pool.ceiling();
+        g.ceiling_headroom = self
+            .pool
+            .ceiling()
+            .map(|c| c.saturating_sub(self.pool.total()));
         g
     }
 
@@ -334,6 +363,32 @@ impl<const N: usize> RawQueue<N> {
         h.clear_hazard();
     }
 
+    /// The fallible enqueue behind [`Handle::try_enqueue`]: an admission
+    /// gate in front of the unmodified paper algorithm.
+    ///
+    /// The gate runs *before* any index FAA, so a rejected call leaves no
+    /// trace in the protocol — that is what makes the rejection wait-free
+    /// and the ceiling enforceable: only admitted operations can allocate.
+    /// When headroom is gone the caller first elects itself cleaner
+    /// (enqueuers never do on the plain path — today only dequeuers call
+    /// `cleanup`), because the missing headroom is often recoverable
+    /// garbage that dequeuers simply haven't tripped the threshold on.
+    pub(crate) fn try_enqueue_internal(&self, h: &HandleNode<N>, v: u64) -> Result<(), Full> {
+        if self.config.segment_ceiling.is_some() && !self.pool.has_headroom() {
+            self.forced_cleanup(h);
+            if !self.pool.has_headroom() {
+                HandleStats::bump(&h.stats.enq_rejected);
+                wfq_obs::record!(
+                    wfq_obs::EventKind::EnqRejected,
+                    self.config.segment_ceiling.unwrap_or(0)
+                );
+                return Err(Full(()));
+            }
+        }
+        self.enqueue_internal(h, v);
+        Ok(())
+    }
+
     /// Lines 65–69: one FAA, one CAS. `cell_id` receives the attempted
     /// index whether or not the deposit succeeds (the caller needs it for
     /// the slow-path request id on failure and the mirror update on
@@ -344,7 +399,7 @@ impl<const N: usize> RawQueue<N> {
         *cell_id = i;
         // SAFETY: h.tail is ≥ the hazard this thread published and ≤ i/N
         // (it only ever advances through cells this thread obtained by FAA).
-        let c = unsafe { &*find_cell(&h.tail, i, &h.spare, &h.stats.segs_alloc) };
+        let c = unsafe { &*find_cell(&h.tail, i, &self.src(h)) };
         c.try_deposit(v)
     }
 
@@ -365,7 +420,7 @@ impl<const N: usize> RawQueue<N> {
             let i = self.tail_index.fetch_add(1, Ordering::SeqCst);
             // SAFETY: tmp_tail starts at h.tail (hazard-protected) and only
             // advances toward cells obtained by FAA.
-            let c = unsafe { &*find_cell(&tmp_tail, i, &h.spare, &h.stats.segs_alloc) };
+            let c = unsafe { &*find_cell(&tmp_tail, i, &self.src(h)) };
             // Lines 80–84, Dijkstra's protocol: reserve first, then check
             // that no dequeuer poisoned the cell before the reservation.
             if c.try_reserve_enq(r as *const _ as *mut _) && c.load_val() == VAL_BOTTOM {
@@ -387,7 +442,7 @@ impl<const N: usize> RawQueue<N> {
         let id = r.state().index;
         inject!("enq_slow::pre_commit");
         // SAFETY: id ≥ cell_id ≥ (*h.tail).id * N, all hazard-protected.
-        let c = unsafe { &*find_cell(&h.tail, id, &h.spare, &h.stats.segs_alloc) };
+        let c = unsafe { &*find_cell(&h.tail, id, &self.src(h)) };
         self.enq_commit(c, v, id);
         wfq_obs::record!(wfq_obs::EventKind::EnqSlowExit, id);
         id
@@ -501,6 +556,27 @@ impl<const N: usize> RawQueue<N> {
         h.publish_hazard(h.head_seg_id.load(Ordering::Relaxed) as i64);
         inject!("deq::hazard_published");
 
+        // Emptiness fast-out (the bounded-RSS guard of DESIGN.md §9). A
+        // probe's FAA burns a cell, and every segment between the tail
+        // frontier and H must stay live for enqueuers to traverse — so a
+        // consumer spinning on an empty queue would otherwise push H (and
+        // the chain, and RSS) ahead of T without bound, straight through
+        // any segment ceiling. Once H has passed T the queue is
+        // linearizably empty (every cell below T is already assigned to
+        // some dequeuer), so later probes return EMPTY without consuming
+        // anything. H == T still probes — one burned cell per drained
+        // queue — which preserves the ⊤-seal semantics deterministic
+        // tests rely on and bounds dequeue-side growth at one in-flight
+        // cell per consumer.
+        let h_idx = self.head_index.load(Ordering::SeqCst);
+        if h_idx > self.tail_index.load(Ordering::SeqCst) {
+            HandleStats::bump(&h.stats.deq_fast);
+            HandleStats::bump(&h.stats.deq_empty);
+            wfq_obs::record!(wfq_obs::EventKind::DeqEmpty, h_idx);
+            h.clear_hazard();
+            return None;
+        }
+
         // Lines 129–133.
         let mut cell_id = 0;
         let mut last_index = 0;
@@ -572,7 +648,7 @@ impl<const N: usize> RawQueue<N> {
         let i = self.head_index.fetch_add(1, Ordering::SeqCst);
         inject!("deq_fast::post_faa");
         // SAFETY: h.head hazard-protected, ≤ i/N.
-        let c = unsafe { &*find_cell(&h.head, i, &h.spare, &h.stats.segs_alloc) };
+        let c = unsafe { &*find_cell(&h.head, i, &self.src(h)) };
         match self.help_enq(h, c, i) {
             HelpEnq::Empty => FastDeq::Empty(i),
             HelpEnq::Value(v) if c.try_claim_deq_fast() => FastDeq::Value(v, i),
@@ -591,7 +667,7 @@ impl<const N: usize> RawQueue<N> {
         // Lines 153–156: the request's announced cell holds the result.
         let i = r.state().index;
         // SAFETY: i ≥ cid ≥ (*h.head).id * N; hazard-protected.
-        let c = unsafe { &*find_cell(&h.head, i, &h.spare, &h.stats.segs_alloc) };
+        let c = unsafe { &*find_cell(&h.head, i, &self.src(h)) };
         let v = c.load_val();
         advance_index(&self.head_index, i + 1);
         wfq_obs::record!(wfq_obs::EventKind::DeqSlowExit, i);
@@ -647,7 +723,7 @@ impl<const N: usize> RawQueue<N> {
                 i += 1;
                 inject!("help_deq::candidate_scan");
                 // SAFETY: hc starts at a hazard-protected segment ≤ i/N.
-                let c = unsafe { &*find_cell(&hc, i, &h.spare, &h.stats.segs_alloc) };
+                let c = unsafe { &*find_cell(&hc, i, &self.src(h)) };
                 match self.help_enq(h, c, i) {
                     HelpEnq::Empty => cand = i, // line 177
                     HelpEnq::Value(_) if c.load_deq() == DEQ_BOTTOM => cand = i,
@@ -677,7 +753,7 @@ impl<const N: usize> RawQueue<N> {
             // Line 190: locate the announced candidate.
             // SAFETY: announced indices increase monotonically from id
             // (Invariant 7), so ha.id ≤ s.index/N; hazard-protected.
-            let c = unsafe { &*find_cell(&ha, s.index, &h.spare, &h.stats.segs_alloc) };
+            let c = unsafe { &*find_cell(&ha, s.index, &self.src(h)) };
             // Lines 191–199: the candidate satisfies the request if it
             // witnesses EMPTY (val = ⊤) or its value is claimed for r.
             if c.load_val() == VAL_TOP
@@ -755,9 +831,28 @@ impl<const N: usize> Handle<'_, N> {
 
     /// Enqueues `v`. Wait-free. Panics if `v` is a reserved pattern
     /// (`0` or `u64::MAX`).
+    ///
+    /// In bounded mode this keeps the paper's always-succeeds semantics:
+    /// it bypasses the admission gate and may push the queue past its
+    /// segment ceiling (by the bounded overshoot described in
+    /// [`Config::with_segment_ceiling`]). Use [`Handle::try_enqueue`] to
+    /// respect the ceiling.
     #[inline]
     pub fn enqueue(&mut self, v: u64) {
         self.queue.enqueue_internal(self.node(), v);
+    }
+
+    /// Enqueues `v`, failing fast with [`Full`] if the queue is at its
+    /// segment ceiling and a same-call forced reclamation pass cannot
+    /// recover headroom. Wait-free (the rejection path does constant work
+    /// plus one bounded ring scan). Panics on the reserved patterns.
+    ///
+    /// Without a ceiling ([`Config::segment_ceiling`] unset) this never
+    /// returns `Err` and compiles to the same fast path as
+    /// [`Handle::enqueue`] plus one branch.
+    #[inline]
+    pub fn try_enqueue(&mut self, v: u64) -> Result<(), Full> {
+        self.queue.try_enqueue_internal(self.node(), v)
     }
 
     /// Dequeues the oldest value, or returns `None` if the queue was
@@ -777,6 +872,12 @@ impl<const N: usize> Drop for Handle<'_, N> {
     fn drop(&mut self) {
         self.queue.release_node(self.node);
     }
+}
+
+/// Test-only access to a handle's ring node (used by sibling-module tests).
+#[cfg(test)]
+pub(crate) fn test_node<const N: usize>(h: &Handle<'_, N>) -> *mut HandleNode<N> {
+    h.node
 }
 
 impl<const N: usize> core::fmt::Debug for RawQueue<N> {

@@ -13,6 +13,7 @@ use core::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error};
 
 use crate::cell::Cell;
+use crate::pool::SegmentPool;
 
 /// One array segment of `N` cells.
 ///
@@ -34,15 +35,26 @@ impl<const N: usize> Segment<N> {
     /// a null `next`, so no per-cell initialization loop is needed — an
     /// observable win at N = 1024 where the loop would touch 24 KiB.
     pub fn alloc(id: u64) -> *mut Segment<N> {
+        let ptr = Self::try_alloc(id);
+        if ptr.is_null() {
+            handle_alloc_error(Layout::new::<Segment<N>>());
+        }
+        ptr
+    }
+
+    /// Fallible variant of [`Segment::alloc`]: returns null instead of
+    /// aborting when the allocator refuses. Bounded mode retries through
+    /// [`crate::pool::SegmentPool::acquire`]'s backoff loop rather than
+    /// taking the process down.
+    pub fn try_alloc(id: u64) -> *mut Segment<N> {
         let layout = Layout::new::<Segment<N>>();
         // SAFETY: layout is non-zero-sized; the zero pattern is a valid
         // Segment (atomics of 0 / null, id 0) which we then fix up.
         let ptr = unsafe { alloc_zeroed(layout) } as *mut Segment<N>;
-        if ptr.is_null() {
-            handle_alloc_error(layout);
+        if !ptr.is_null() {
+            // SAFETY: freshly allocated, exclusively owned until published.
+            unsafe { (*ptr).id.store(id, Ordering::Relaxed) };
         }
-        // SAFETY: freshly allocated, exclusively owned until published.
-        unsafe { (*ptr).id.store(id, Ordering::Relaxed) };
         ptr
     }
 
@@ -75,6 +87,23 @@ impl<const N: usize> Segment<N> {
         }
     }
 
+    /// Resets a retired segment to the state a fresh `alloc_zeroed` would
+    /// produce — every cell back to `(⊥, ⊥e, ⊥d)`, `next` null — so it
+    /// satisfies [`Segment::restamp`]'s never-published contract and can be
+    /// recycled through the bounded-mode pool.
+    ///
+    /// # Safety
+    /// `ptr` must be exclusively owned and unreachable by any other thread
+    /// (retired by the reclamation protocol, or never published).
+    pub unsafe fn scrub(ptr: *mut Segment<N>) {
+        // SAFETY: exclusive ownership per the contract; Cell is repr(C)
+        // atomics whose all-zero pattern is the valid initial state.
+        unsafe {
+            core::ptr::write_bytes(&raw mut (*ptr).cells, 0, 1);
+            (*ptr).next.store(core::ptr::null_mut(), Ordering::Relaxed);
+        }
+    }
+
     /// Frees the half-open chain `[from, to)` following `next` pointers
     /// (paper's `free_list`, line 238). Returns how many segments were
     /// freed.
@@ -98,28 +127,39 @@ impl<const N: usize> Segment<N> {
     }
 }
 
+/// Where `find_cell` gets segments for list extensions: the owner-local
+/// spare slot, then the queue's [`SegmentPool`] (which is the allocator
+/// itself in unbounded mode, and the recycling pool + ceiling gate in
+/// bounded mode). Built per call by `RawQueue::src`.
+pub(crate) struct SegSource<'a, const N: usize> {
+    /// Owner-local slot holding one pre-allocated, never-published segment:
+    /// extensions draw from it before the pool, and the loser of a
+    /// publication race parks its segment here instead of freeing it (the
+    /// authors' C `th->spare` optimization).
+    pub spare: &'a AtomicPtr<Segment<N>>,
+    /// Bumped once per segment allocated *and published* through this
+    /// source (the owner's `segs_alloc` counter).
+    pub alloc_count: &'a AtomicU64,
+    /// The queue's segment pool / allocation gate.
+    pub pool: &'a SegmentPool<N>,
+}
+
 /// Locates cell `cell_id`, starting the traversal at the segment `*sp`
 /// points to, extending the list as needed (paper `find_cell`, lines 33–52).
 ///
 /// On return `sp` has been advanced to the segment containing the cell (the
-/// documented side effect of line 51). `alloc_count` is bumped once per
-/// segment this call allocated *and published*.
-///
-/// `spare` is an owner-local slot holding one pre-allocated, never-published
-/// segment: extensions draw from it before hitting the allocator, and the
-/// loser of a publication race parks its segment there instead of freeing
-/// it (the authors' C `th->spare` optimization).
+/// documented side effect of line 51). Extension segments come from `src`
+/// (spare slot first, then the pool — see [`SegSource`]).
 ///
 /// # Safety
 /// `*sp` must point to a live segment with `id <= cell_id / N` that is
 /// protected from reclamation for the duration of the call (by the caller's
-/// hazard publication, per the protocol in [`crate::reclaim`]). `spare`
+/// hazard publication, per the protocol in [`crate::reclaim`]). `src.spare`
 /// must be owner-local (no concurrent access).
 pub(crate) unsafe fn find_cell<const N: usize>(
     sp: &AtomicPtr<Segment<N>>,
     cell_id: u64,
-    spare: &AtomicPtr<Segment<N>>,
-    alloc_count: &AtomicU64,
+    src: &SegSource<'_, N>,
 ) -> *mut Cell {
     let mut s = sp.load(Ordering::Acquire);
     debug_assert!(!s.is_null());
@@ -138,13 +178,15 @@ pub(crate) unsafe fn find_cell<const N: usize>(
         // protected by the same hazard that protects `s`.
         let mut next = unsafe { (*s).next.load(Ordering::Acquire) };
         if next.is_null() {
-            // The list needs another segment: take the spare or allocate.
+            // The list needs another segment: take the spare or draw from
+            // the pool (= the allocator in unbounded mode; in bounded mode
+            // this may wait for a recycled segment, see crate::pool).
             let tmp = {
-                let cached = spare.load(Ordering::Relaxed);
+                let cached = src.spare.load(Ordering::Relaxed);
                 if cached.is_null() {
-                    Segment::alloc(id + 1)
+                    src.pool.acquire(id + 1)
                 } else {
-                    spare.store(core::ptr::null_mut(), Ordering::Relaxed);
+                    src.spare.store(core::ptr::null_mut(), Ordering::Relaxed);
                     // SAFETY: the spare is owner-local and never published;
                     // we own it exclusively and may restamp its id.
                     unsafe { Segment::restamp(cached, id + 1) };
@@ -161,14 +203,14 @@ pub(crate) unsafe fn find_cell<const N: usize>(
                 )
             } {
                 Ok(_) => {
-                    alloc_count.fetch_add(1, Ordering::Relaxed);
+                    src.alloc_count.fetch_add(1, Ordering::Relaxed);
                     wfq_obs::record!(wfq_obs::EventKind::SegAlloc, id + 1);
                     next = tmp;
                 }
                 Err(winner) => {
                     // Another thread extended the list first; park ours in
                     // the spare slot for next time (it was never published).
-                    spare.store(tmp, Ordering::Relaxed);
+                    src.spare.store(tmp, Ordering::Relaxed);
                     next = winner;
                 }
             }
@@ -214,17 +256,41 @@ mod tests {
         }
     }
 
+    /// Owned backing for a [`SegSource`] (unbounded pool, fresh counters).
+    struct TestSource {
+        spare: AtomicPtr<Seg>,
+        alloc: AtomicU64,
+        pool: SegmentPool<64>,
+    }
+
+    impl TestSource {
+        fn new() -> Self {
+            Self {
+                spare: AtomicPtr::new(core::ptr::null_mut()),
+                alloc: AtomicU64::new(0),
+                pool: SegmentPool::new(None),
+            }
+        }
+
+        fn src(&self) -> SegSource<'_, 64> {
+            SegSource {
+                spare: &self.spare,
+                alloc_count: &self.alloc,
+                pool: &self.pool,
+            }
+        }
+    }
+
     #[test]
     fn find_cell_within_first_segment() {
         let s = Seg::alloc(0);
         let sp = AtomicPtr::new(s);
-        let alloc = AtomicU64::new(0);
-        let spare = AtomicPtr::new(core::ptr::null_mut());
+        let ts = TestSource::new();
         unsafe {
-            let c = find_cell(&sp, 5, &spare, &alloc);
+            let c = find_cell(&sp, 5, &ts.src());
             assert_eq!(c, &raw mut (*s).cells[5]);
             assert_eq!(sp.load(Ordering::Relaxed), s, "pointer unmoved");
-            assert_eq!(alloc.load(Ordering::Relaxed), 0);
+            assert_eq!(ts.alloc.load(Ordering::Relaxed), 0);
             free_chain(s);
         }
     }
@@ -233,15 +299,14 @@ mod tests {
     fn find_cell_extends_the_list() {
         let s = Seg::alloc(0);
         let sp = AtomicPtr::new(s);
-        let alloc = AtomicU64::new(0);
-        let spare = AtomicPtr::new(core::ptr::null_mut());
+        let ts = TestSource::new();
         unsafe {
             // Cell 64*3 + 2 lives in segment 3: three extensions needed.
-            let c = find_cell(&sp, 64 * 3 + 2, &spare, &alloc);
+            let c = find_cell(&sp, 64 * 3 + 2, &ts.src());
             let s3 = sp.load(Ordering::Relaxed);
             assert_eq!((*s3).id(), 3);
             assert_eq!(c, &raw mut (*s3).cells[2]);
-            assert_eq!(alloc.load(Ordering::Relaxed), 3);
+            assert_eq!(ts.alloc.load(Ordering::Relaxed), 3);
             free_chain(s);
         }
     }
@@ -250,15 +315,39 @@ mod tests {
     fn find_cell_updates_the_segment_pointer_side_effect() {
         let s = Seg::alloc(0);
         let sp = AtomicPtr::new(s);
-        let alloc = AtomicU64::new(0);
-        let spare = AtomicPtr::new(core::ptr::null_mut());
+        let ts = TestSource::new();
         unsafe {
-            find_cell(&sp, 64 * 2, &spare, &alloc);
+            find_cell(&sp, 64 * 2, &ts.src());
             assert_eq!((*sp.load(Ordering::Relaxed)).id(), 2);
             // A later find_cell for a further cell resumes from segment 2.
-            find_cell(&sp, 64 * 2 + 63, &spare, &alloc);
+            find_cell(&sp, 64 * 2 + 63, &ts.src());
             assert_eq!((*sp.load(Ordering::Relaxed)).id(), 2);
-            assert_eq!(alloc.load(Ordering::Relaxed), 2, "no extra allocs");
+            assert_eq!(ts.alloc.load(Ordering::Relaxed), 2, "no extra allocs");
+            free_chain(s);
+        }
+    }
+
+    #[test]
+    fn find_cell_draws_from_a_bounded_pool() {
+        // With a ceiling and a recycled segment parked in the pool, an
+        // extension must reuse it rather than allocate.
+        let s = Seg::alloc(0);
+        let sp = AtomicPtr::new(s);
+        let spare = AtomicPtr::new(core::ptr::null_mut());
+        let alloc = AtomicU64::new(0);
+        let pool = SegmentPool::<64>::new(Some(4));
+        let recycled = pool.acquire(99);
+        unsafe { pool.push(recycled) };
+        let src = SegSource {
+            spare: &spare,
+            alloc_count: &alloc,
+            pool: &pool,
+        };
+        unsafe {
+            find_cell(&sp, 64, &src);
+            let s1 = sp.load(Ordering::Relaxed);
+            assert_eq!(s1, recycled, "extension must pop the pooled segment");
+            assert_eq!((*s1).id(), 1, "restamped to the chain position");
             free_chain(s);
         }
     }
@@ -268,14 +357,21 @@ mod tests {
         use std::sync::atomic::AtomicU64;
         let s = Seg::alloc(0);
         let alloc = AtomicU64::new(0);
+        let pool = SegmentPool::<64>::new(None);
         std::thread::scope(|scope| {
             for _ in 0..8 {
                 let sp = AtomicPtr::new(s);
                 let alloc = &alloc;
+                let pool = &pool;
                 scope.spawn(move || unsafe {
                     let spare = AtomicPtr::new(core::ptr::null_mut());
+                    let src = SegSource {
+                        spare: &spare,
+                        alloc_count: alloc,
+                        pool,
+                    };
                     for i in 0..32 {
-                        find_cell(&sp, i * 64, &spare, alloc);
+                        find_cell(&sp, i * 64, &src);
                     }
                     // Free any parked race-loser segment.
                     let parked = spare.load(Ordering::Relaxed);
@@ -305,10 +401,9 @@ mod tests {
     fn free_list_frees_the_half_open_range() {
         let s0 = Seg::alloc(0);
         let sp = AtomicPtr::new(s0);
-        let alloc = AtomicU64::new(0);
-        let spare = AtomicPtr::new(core::ptr::null_mut());
+        let ts = TestSource::new();
         unsafe {
-            find_cell(&sp, 64 * 4, &spare, &alloc); // build segments 0..=4
+            find_cell(&sp, 64 * 4, &ts.src()); // build segments 0..=4
             let s4 = sp.load(Ordering::Relaxed);
             let freed = Seg::free_list(s0, s4);
             assert_eq!(freed, 4);
@@ -324,6 +419,42 @@ mod tests {
         unsafe {
             assert_eq!(Seg::free_list(s, s), 0);
             free_chain(s);
+        }
+    }
+
+    #[test]
+    fn try_alloc_initializes_like_alloc() {
+        let s = Seg::try_alloc(11);
+        assert!(!s.is_null(), "small allocation must succeed");
+        unsafe {
+            assert_eq!((*s).id(), 11);
+            assert!((*s).next.load(Ordering::Relaxed).is_null());
+            Seg::dealloc(s);
+        }
+    }
+
+    #[test]
+    fn scrub_resets_a_dirty_segment_for_restamp() {
+        let s = Seg::alloc(3);
+        let tail = Seg::alloc(4);
+        unsafe {
+            // Dirty it the way real traffic would: values, seals, a link.
+            (*s).cells[7].val.store(9, Ordering::Relaxed);
+            (*s).cells[0].try_seal_enq();
+            (*s).cells[1].try_claim_deq_fast();
+            (*s).next.store(tail, Ordering::Relaxed);
+            Seg::scrub(s);
+            assert!((*s).next.load(Ordering::Relaxed).is_null());
+            for c in &(*s).cells {
+                assert_eq!(c.load_val(), crate::cell::VAL_BOTTOM);
+                assert!(c.load_enq().is_null());
+                assert!(c.load_deq().is_null());
+            }
+            // Now indistinguishable from fresh: restamp must be legal.
+            Seg::restamp(s, 10);
+            assert_eq!((*s).id(), 10);
+            Seg::dealloc(s);
+            Seg::dealloc(tail);
         }
     }
 

@@ -8,8 +8,9 @@
 use core::marker::PhantomData;
 
 use crate::config::Config;
+use crate::full::Full;
 use crate::raw::{Handle, RawQueue};
-use crate::stats::QueueStats;
+use crate::stats::{Gauges, QueueStats};
 use crate::DEFAULT_SEGMENT_SIZE;
 
 /// A wait-free MPMC FIFO queue of `T`.
@@ -83,6 +84,12 @@ impl<T: Send, const N: usize> WfQueue<T, N> {
         self.raw.stats()
     }
 
+    /// Instantaneous gauge snapshot (see [`RawQueue::gauges`]); includes
+    /// the bounded-mode pool occupancy and ceiling headroom.
+    pub fn gauges(&self) -> Gauges {
+        self.raw.gauges()
+    }
+
     /// This queue's configuration.
     pub fn config(&self) -> Config {
         self.raw.config()
@@ -120,6 +127,20 @@ impl<T: Send, const N: usize> LocalHandle<'_, T, N> {
         // A Box pointer is non-null and, being a valid address, never
         // u64::MAX — so it avoids both reserved patterns.
         self.raw.enqueue(ptr as u64);
+    }
+
+    /// Enqueues `value`, failing fast with [`Full`] — which returns the
+    /// value to the caller — when the queue's segment ceiling is reached
+    /// and no headroom can be recovered (see
+    /// [`Config::with_segment_ceiling`]). Never fails on an unbounded
+    /// queue.
+    pub fn try_enqueue(&mut self, value: T) -> Result<(), Full<T>> {
+        let ptr = Box::into_raw(Box::new(value));
+        self.raw.try_enqueue(ptr as u64).map_err(|Full(())| {
+            // SAFETY: the rejected value never entered the queue; the box
+            // we just leaked is still exclusively ours.
+            Full(unsafe { *Box::from_raw(ptr as *mut T) })
+        })
     }
 
     /// Dequeues the value at the head, or `None` if the queue was observed

@@ -38,7 +38,11 @@ pub fn run_breakdown(patience: u32, cfg: &BenchConfig) -> Breakdown {
         Workload::FiftyEnqueues,
         "Table 2 is defined on the 50%-enqueues benchmark"
     );
-    let q = RawQueue::<1024>::with_config(Config::default().with_patience(patience));
+    let mut config = Config::default().with_patience(patience);
+    if let Some(c) = cfg.segment_ceiling {
+        config = config.with_segment_ceiling(c);
+    }
+    let q = RawQueue::<1024>::with_config(config);
     let delay = SpinDelay::calibrate();
     let threads = cfg.threads.max(1);
     let per_thread = (cfg.total_ops / threads as u64).max(1);

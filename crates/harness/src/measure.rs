@@ -28,7 +28,7 @@ pub fn measure_invocation<Q: BenchQueue>(
     delay: &SpinDelay,
     invocation: u64,
 ) -> (f64, f64) {
-    let q = Q::new();
+    let q = Q::with_ceiling(cfg.segment_ceiling);
     let mut iters: Vec<f64> = Vec::with_capacity(cfg.max_iterations);
     for i in 0..cfg.max_iterations {
         let round = invocation * 1_000 + i as u64;

@@ -52,6 +52,9 @@ pub fn render_prometheus(stats: &QueueStats, gauges: Option<&Gauges>) -> String 
     counter(&mut out, "wfq_reclaim_backward_clamp_total", "Backward-pass hazard clamps", s.reclaim_backward_clamp);
     counter(&mut out, "wfq_segs_alloc_total", "Segments allocated and published", s.segs_alloc);
     counter(&mut out, "wfq_segs_freed_total", "Segments reclaimed", s.segs_freed);
+    counter(&mut out, "wfq_segs_recycled_total", "Segments recycled into the bounded-mode pool", s.segs_recycled);
+    counter(&mut out, "wfq_enq_rejected_total", "Enqueues rejected at the segment ceiling", s.enq_rejected);
+    counter(&mut out, "wfq_forced_cleanups_total", "Enqueuer-elected (forced) reclamation passes", s.forced_cleanups);
     if let Some(g) = gauges {
         gauge(&mut out, "wfq_head_index", "Head index H (dequeue FAA counter)", g.head_index as f64);
         gauge(&mut out, "wfq_tail_index", "Tail index T (enqueue FAA counter)", g.tail_index as f64);
@@ -63,6 +66,14 @@ pub fn render_prometheus(stats: &QueueStats, gauges: Option<&Gauges>) -> String 
             "Segments pinned behind the dequeue frontier by the laggiest hazard",
             g.hazard_lag_segments as f64,
         );
+        if let Some(mh) = g.min_hazard {
+            gauge(
+                &mut out,
+                "wfq_min_hazard",
+                "Oldest published hazard segment id (absent: no hazard live)",
+                mh as f64,
+            );
+        }
         gauge(&mut out, "wfq_active_handles", "Handles currently owned", g.active_handles as f64);
         gauge(
             &mut out,
@@ -72,6 +83,18 @@ pub fn render_prometheus(stats: &QueueStats, gauges: Option<&Gauges>) -> String 
         );
         gauge(&mut out, "wfq_pending_enq_reqs", "Enqueue helping records pending", g.pending_enq_reqs as f64);
         gauge(&mut out, "wfq_pending_deq_reqs", "Dequeue helping records pending", g.pending_deq_reqs as f64);
+        gauge(&mut out, "wfq_pooled_segments", "Scrubbed segments parked in the bounded-mode pool", g.pooled_segments as f64);
+        if let Some(c) = g.segment_ceiling {
+            gauge(&mut out, "wfq_segment_ceiling", "Configured segment ceiling (absent: unbounded)", c as f64);
+        }
+        if let Some(hr) = g.ceiling_headroom {
+            gauge(
+                &mut out,
+                "wfq_ceiling_headroom",
+                "Fresh segments still allocatable below the ceiling",
+                hr as f64,
+            );
+        }
     }
     gauge(
         &mut out,
@@ -137,6 +160,27 @@ mod tests {
         assert!(out.contains("wfq_hazard_lag_segments 1\n"));
         assert!(out.contains("wfq_help_ring_occupancy 0.25\n"));
         assert!(out.contains("# TYPE wfq_live_segments gauge"));
+    }
+
+    #[test]
+    fn bounded_gauges_render_only_for_bounded_queues() {
+        let unbounded = Gauges::default();
+        let out = render_prometheus(&QueueStats::default(), Some(&unbounded));
+        assert!(out.contains("wfq_pooled_segments 0\n"));
+        assert!(!out.contains("wfq_segment_ceiling"), "unbounded: no ceiling");
+        assert!(!out.contains("wfq_ceiling_headroom"));
+        assert!(out.contains("wfq_enq_rejected_total 0\n"));
+
+        let bounded = Gauges {
+            pooled_segments: 3,
+            segment_ceiling: Some(64),
+            ceiling_headroom: Some(12),
+            ..Default::default()
+        };
+        let out = render_prometheus(&QueueStats::default(), Some(&bounded));
+        assert!(out.contains("wfq_pooled_segments 3\n"));
+        assert!(out.contains("wfq_segment_ceiling 64\n"));
+        assert!(out.contains("wfq_ceiling_headroom 12\n"));
     }
 
     #[test]

@@ -62,6 +62,9 @@ pub struct BenchConfig {
     pub pin: bool,
     /// Base PRNG seed (per-thread streams are derived from it).
     pub seed: u64,
+    /// Bounded-memory mode: cap the queue at this many live segments
+    /// (honored only by queues with [`BenchQueue::HONORS_CEILING`]).
+    pub segment_ceiling: Option<u64>,
 }
 
 impl Default for BenchConfig {
@@ -77,6 +80,7 @@ impl Default for BenchConfig {
             invocations: 10,
             pin: true,
             seed: 0xC0FFEE,
+            segment_ceiling: None,
         }
     }
 }

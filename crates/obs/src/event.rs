@@ -49,6 +49,15 @@ pub enum EventKind {
     SegAlloc = 14,
     /// A reclamation pass freed a segment prefix (arg: segments freed).
     SegFree = 15,
+    /// Bounded mode rejected an enqueue at the segment ceiling (arg: the
+    /// configured ceiling).
+    EnqRejected = 16,
+    /// An enqueuer elected itself cleaner after finding no headroom (arg:
+    /// the head-frontier segment id it offered as a boundary).
+    ForcedCleanup = 17,
+    /// A reclamation pass recycled segments into the bounded-mode pool
+    /// instead of freeing them (arg: segments recycled).
+    SegRecycle = 18,
 }
 
 /// Every kind, in discriminant order (index `k as usize` is `ALL[k]`).
@@ -69,6 +78,9 @@ pub const ALL_KINDS: &[EventKind] = &[
     EventKind::HazardClamp,
     EventKind::SegAlloc,
     EventKind::SegFree,
+    EventKind::EnqRejected,
+    EventKind::ForcedCleanup,
+    EventKind::SegRecycle,
 ];
 
 impl EventKind {
@@ -96,6 +108,9 @@ impl EventKind {
             EventKind::HazardClamp => "hazard_clamp",
             EventKind::SegAlloc => "seg_alloc",
             EventKind::SegFree => "seg_free",
+            EventKind::EnqRejected => "enq_rejected",
+            EventKind::ForcedCleanup => "forced_cleanup",
+            EventKind::SegRecycle => "seg_recycle",
         }
     }
 
@@ -114,6 +129,9 @@ impl EventKind {
             | EventKind::HazardClamp
             | EventKind::SegAlloc
             | EventKind::SegFree => "reclaim",
+            EventKind::EnqRejected
+            | EventKind::ForcedCleanup
+            | EventKind::SegRecycle => "bounded",
         }
     }
 
@@ -133,7 +151,10 @@ impl EventKind {
             | EventKind::HelpDeqComplete => "cell",
             EventKind::HazardAdopt | EventKind::SegAlloc => "segment",
             EventKind::CleanerElected | EventKind::HazardClamp => "boundary",
+            EventKind::ForcedCleanup => "boundary",
             EventKind::SegFree => "segments_freed",
+            EventKind::EnqRejected => "ceiling",
+            EventKind::SegRecycle => "segments_recycled",
         }
     }
 

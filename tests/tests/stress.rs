@@ -132,6 +132,81 @@ fn stress_kpqueue() {
     stress::<KpQueue>();
 }
 
+/// Handle-lifecycle churn under traffic: one thread registers and drops
+/// handles (doing a few operations through each) while steady producers
+/// and consumers run. Guards the `active_count` accounting that the
+/// reclamation threshold and the bounded-mode pool both depend on — a
+/// count that drifts under churn either disables reclamation (threshold
+/// inflates) or corrupts the node free list.
+#[test]
+fn handle_churn_under_traffic_conserves_values_and_count() {
+    let q = wfqueue::RawQueue::<64>::with_config(
+        wfqueue::Config::default()
+            .with_max_garbage(2)
+            .with_segment_ceiling(512),
+    );
+    let per = 10_000u64;
+    let producers = 2u64;
+    let total = producers * per;
+    let sum = AtomicU64::new(0);
+    let got = AtomicU64::new(0);
+    let done = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..producers {
+            let q = &q;
+            s.spawn(move || {
+                let mut h = q.register();
+                for i in 0..per {
+                    h.enqueue(t * per + i + 1);
+                }
+            });
+        }
+        for _ in 0..2 {
+            let q = &q;
+            let (sum, got) = (&sum, &got);
+            s.spawn(move || {
+                let mut h = q.register();
+                while got.load(Ordering::Relaxed) < total {
+                    if let Some(v) = h.dequeue() {
+                        sum.fetch_add(v, Ordering::Relaxed);
+                        got.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        // The churner: short-lived handles that only dequeue-probe, so the
+        // conservation ledger stays defined by the two steady producers.
+        {
+            let q = &q;
+            let (sum, got, done) = (&sum, &got, &done);
+            s.spawn(move || {
+                while got.load(Ordering::Relaxed) < total {
+                    let mut h = q.register();
+                    for _ in 0..16 {
+                        if let Some(v) = h.dequeue() {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                            got.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    drop(h);
+                    done.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(sum.load(Ordering::Relaxed), (1..=total).sum::<u64>());
+    assert!(done.load(Ordering::Relaxed) > 0, "churner never cycled");
+    let g = q.gauges();
+    assert_eq!(
+        g.active_handles, 0,
+        "active-handle count drifted under churn: {g:?}"
+    );
+    // Reclamation must still have run despite the churn (the threshold is
+    // computed from *live* handles, so dead registrations cannot stall it).
+    let st = q.stats();
+    assert!(st.segs_freed > 0, "churn stalled reclamation: {st:?}");
+}
+
 /// The paper's Table 2 regime: more threads than hardware threads. The
 /// wait-free queue must stay correct when every thread is constantly
 /// preempted mid-operation.
