@@ -53,6 +53,31 @@ pub trait QueueHandle: Send {
     fn enqueue(&mut self, v: u64);
     /// Dequeues the oldest value, or `None` if the queue appeared empty.
     fn dequeue(&mut self) -> Option<u64>;
+    /// Enqueues every value in `vs` in order. The default is an element
+    /// loop; queues with a native batch fast path (one FAA per batch)
+    /// override it, so the harness's `--batch` workload compares each
+    /// queue's best effort at the same shape.
+    fn enqueue_batch(&mut self, vs: &[u64]) {
+        for &v in vs {
+            self.enqueue(v);
+        }
+    }
+    /// Dequeues up to `max` values into `out`, returning how many were
+    /// appended. The default loops `dequeue` and stops at the first
+    /// `None`; native implementations claim the whole run with one FAA.
+    fn dequeue_batch(&mut self, out: &mut Vec<u64>, max: usize) -> usize {
+        let mut got = 0;
+        while got < max {
+            match self.dequeue() {
+                Some(v) => {
+                    out.push(v);
+                    got += 1;
+                }
+                None => break,
+            }
+        }
+        got
+    }
 }
 
 /// Uniform interface the benchmark harness drives.
@@ -96,6 +121,14 @@ mod wf_impl {
         fn dequeue(&mut self) -> Option<u64> {
             Handle::dequeue(self)
         }
+        #[inline]
+        fn enqueue_batch(&mut self, vs: &[u64]) {
+            Handle::enqueue_batch(self, vs);
+        }
+        #[inline]
+        fn dequeue_batch(&mut self, out: &mut Vec<u64>, max: usize) -> usize {
+            Handle::dequeue_batch(self, out, max)
+        }
     }
 
     impl BenchQueue for RawQueue {
@@ -132,6 +165,14 @@ mod wf_impl {
         fn dequeue(&mut self) -> Option<u64> {
             self.0.dequeue()
         }
+        #[inline]
+        fn enqueue_batch(&mut self, vs: &[u64]) {
+            self.0.enqueue_batch(vs);
+        }
+        #[inline]
+        fn dequeue_batch(&mut self, out: &mut Vec<u64>, max: usize) -> usize {
+            self.0.dequeue_batch(out, max)
+        }
     }
 
     impl BenchQueue for Wf0 {
@@ -155,6 +196,21 @@ mod wf_impl {
 }
 
 pub use wf_impl::{Wf0, Wf0Handle};
+
+#[cfg(test)]
+mod wf_conformance {
+    use super::*;
+
+    #[test]
+    fn wf10_batch_roundtrip_native() {
+        conformance::batch_roundtrip::<wfqueue::RawQueue>();
+    }
+
+    #[test]
+    fn wf0_batch_roundtrip_native() {
+        conformance::batch_roundtrip::<Wf0>();
+    }
+}
 
 /// Named fault-injection points compiled into the baselines (see
 /// [`wfqueue::FAULT_POINTS`] for the naming convention). These cover the
@@ -198,6 +254,27 @@ pub(crate) mod conformance {
         assert_eq!(h.dequeue(), Some(2));
         assert_eq!(h.dequeue(), Some(3));
         assert_eq!(h.dequeue(), None);
+    }
+
+    pub fn batch_roundtrip<Q: BenchQueue>() {
+        // Exercises the batch entry points every handle exposes (native
+        // one-FAA batches on the wait-free queue, the loop fallback
+        // elsewhere): FIFO across mixed widths, and a trimmed final batch.
+        let q = Q::new();
+        let mut h = q.register();
+        let vals: Vec<u64> = (1..=100).collect();
+        for chunk in vals.chunks(7) {
+            h.enqueue_batch(chunk);
+        }
+        let mut out = Vec::new();
+        let mut got = 0;
+        while got < 100 {
+            let n = h.dequeue_batch(&mut out, 9);
+            assert!(n > 0, "{} went empty early at {got}", Q::NAME);
+            got += n;
+        }
+        assert_eq!(out, vals, "{} broke batch FIFO", Q::NAME);
+        assert_eq!(h.dequeue_batch(&mut out, 4), 0, "{} not empty", Q::NAME);
     }
 
     pub fn mpmc_conservation<Q: BenchQueue>(producers: u64, consumers: u64, per: u64) {

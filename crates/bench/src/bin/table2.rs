@@ -4,12 +4,16 @@
 //!
 //! ```text
 //! cargo run -p wfq-bench --release --bin table2 -- [--ops N] [--patience P] \
-//!     [--segment-ceiling S] [--metrics-out metrics.prom] [--trace out.trace.json]
+//!     [--segment-ceiling S] [--batch K] [--metrics-out metrics.prom] \
+//!     [--trace out.trace.json]
 //! ```
 //!
 //! `--metrics-out` writes the highest-thread-count run's statistics in the
 //! Prometheus text exposition format; `--trace` drains the flight recorders
 //! into a Chrome trace file (build with `--features trace` for events).
+//! `--batch K` swaps the workload for batched pairs of width `K` so the
+//! breakdown (and the stats' `batch` line) shows how many elements the
+//! one-FAA batch fast path absorbed versus straggler fallbacks.
 
 use wfq_bench::Args;
 use wfq_harness::breakdown::{render_table2, run_breakdown};
@@ -20,6 +24,10 @@ fn main() {
     let args = Args::parse();
     let hw = topology::num_cpus();
     let patience = args.num("patience", 0) as u32;
+    let workload = match args.get("batch").and_then(|s| s.parse::<u32>().ok()) {
+        Some(k) => Workload::BatchPairs(k.max(1)),
+        None => Workload::FiftyEnqueues,
+    };
     // The paper uses 36 / 72 / 144 / 288 on a 72-hardware-thread machine:
     // half, full, 2× and 4× oversubscription. Reproduce those ratios.
     let mut counts: Vec<usize> = vec![(hw / 2).max(1), hw, hw * 2, hw * 4];
@@ -30,7 +38,7 @@ fn main() {
         let cfg = BenchConfig {
             threads,
             total_ops: args.num("ops", 400_000),
-            workload: Workload::FiftyEnqueues,
+            workload,
             pin: !args.flag("no-pin"),
             segment_ceiling: args.get("segment-ceiling").and_then(|s| s.parse().ok()),
             ..BenchConfig::default()
@@ -41,8 +49,10 @@ fn main() {
 
     println!(
         "Table 2: breakdown of execution paths of WF-{patience} \
-         (50%-enqueues benchmark, {} hardware threads; counts beyond {} are oversubscribed)\n",
-        hw, hw
+         ({} benchmark, {} hardware threads; counts beyond {} are oversubscribed)\n",
+        workload.name(),
+        hw,
+        hw
     );
     println!("{}", render_table2(&rows));
     // The full per-run path breakdown, in QueueStats' own Table-2 layout

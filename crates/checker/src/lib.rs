@@ -25,6 +25,6 @@ pub mod history;
 pub mod invariants;
 pub mod linearize;
 
-pub use history::{History, OpKind, Operation, Recorder, ThreadRecorder};
+pub use history::{BatchPos, History, OpKind, Operation, Recorder, ThreadRecorder};
 pub use invariants::{check_necessary, Violation};
 pub use linearize::{check as check_linearizable, CheckResult};

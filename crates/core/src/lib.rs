@@ -128,4 +128,13 @@ pub const FAULT_POINTS: &[&str] = &[
     "pool::push",
     "pool::pop",
     "pool::stall",
+    // raw.rs — batch operations (DESIGN.md §10). Batch dequeues also pass
+    // through "deq::hazard_published" above, so the parked-hazard fuzzing
+    // machinery covers batch claimants without a dedicated point.
+    "enq_batch::post_faa",
+    "enq_batch::straggler",
+    "enq_batch::abandon",
+    "deq_batch::post_faa",
+    "deq_batch::partial_probe",
+    "deq_batch::straggler",
 ];

@@ -68,6 +68,33 @@ impl<const N: usize> OwnedHandle<N> {
         self.queue.dequeue_internal(unsafe { &*self.node })
     }
 
+    /// Enqueues every value in `vs` with one FAA (see
+    /// [`Handle::enqueue_batch`](crate::Handle::enqueue_batch)).
+    #[inline]
+    pub fn enqueue_batch(&mut self, vs: &[u64]) {
+        // SAFETY: node is live while the Arc'd queue lives.
+        self.queue.enqueue_batch_internal(unsafe { &*self.node }, vs);
+    }
+
+    /// Batch analogue of [`try_enqueue`](Self::try_enqueue): all-or-nothing
+    /// admission against the segment ceiling, before any cell is claimed.
+    #[inline]
+    pub fn try_enqueue_batch(&mut self, vs: &[u64]) -> Result<(), Full> {
+        // SAFETY: as above.
+        self.queue
+            .try_enqueue_batch_internal(unsafe { &*self.node }, vs)
+    }
+
+    /// Dequeues up to `max` values into `out` with one FAA, returning how
+    /// many were appended (see
+    /// [`Handle::dequeue_batch`](crate::Handle::dequeue_batch)).
+    #[inline]
+    pub fn dequeue_batch(&mut self, out: &mut Vec<u64>, max: usize) -> usize {
+        // SAFETY: as above.
+        self.queue
+            .dequeue_batch_internal(unsafe { &*self.node }, out, max)
+    }
+
     /// The queue this handle operates on.
     pub fn queue(&self) -> &Arc<RawQueue<N>> {
         &self.queue
@@ -135,6 +162,58 @@ impl<T: Send, const N: usize> OwnedLocalHandle<T, N> {
             })
     }
 
+    /// Enqueues every value in `values` with one FAA (see
+    /// [`LocalHandle::enqueue_batch`](crate::LocalHandle::enqueue_batch)).
+    pub fn enqueue_batch(&mut self, values: Vec<T>) {
+        let ptrs: Vec<u64> = values
+            .into_iter()
+            .map(|v| Box::into_raw(Box::new(v)) as u64)
+            .collect();
+        // SAFETY: node live while the Arc'd queue lives.
+        self.queue
+            .raw()
+            .enqueue_batch_internal(unsafe { &*self.node }, &ptrs);
+    }
+
+    /// Batch analogue of [`try_enqueue`](Self::try_enqueue): on [`Full`]
+    /// the whole batch comes back, in order, with no element published.
+    pub fn try_enqueue_batch(&mut self, values: Vec<T>) -> Result<(), Full<Vec<T>>> {
+        let ptrs: Vec<u64> = values
+            .into_iter()
+            .map(|v| Box::into_raw(Box::new(v)) as u64)
+            .collect();
+        // SAFETY: node live while the Arc'd queue lives.
+        self.queue
+            .raw()
+            .try_enqueue_batch_internal(unsafe { &*self.node }, &ptrs)
+            .map_err(|Full(())| {
+                // SAFETY: rejection happens before any cell claim; every
+                // box is still exclusively ours.
+                Full(
+                    ptrs.iter()
+                        .map(|&p| unsafe { *Box::from_raw(p as *mut T) })
+                        .collect(),
+                )
+            })
+    }
+
+    /// Dequeues up to `max` values into `out` with one FAA, returning how
+    /// many were appended (see
+    /// [`LocalHandle::dequeue_batch`](crate::LocalHandle::dequeue_batch)).
+    pub fn dequeue_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut bits = Vec::with_capacity(max);
+        // SAFETY: node live as above.
+        let n = self
+            .queue
+            .raw()
+            .dequeue_batch_internal(unsafe { &*self.node }, &mut bits, max);
+        out.extend(bits.into_iter().map(|b| {
+            // SAFETY: unique ownership — see LocalHandle::dequeue.
+            unsafe { *Box::from_raw(b as *mut T) }
+        }));
+        n
+    }
+
     /// The queue this handle operates on.
     pub fn queue(&self) -> &Arc<WfQueue<T, N>> {
         &self.queue
@@ -183,6 +262,49 @@ mod tests {
         h.enqueue("x".to_string());
         assert_eq!(h.dequeue().as_deref(), Some("x"));
         assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn owned_handles_batch_across_spawned_threads() {
+        let q: Arc<RawQueue<64>> = Arc::new(RawQueue::new());
+        let mut producer = OwnedHandle::new(Arc::clone(&q));
+        let mut consumer = OwnedHandle::new(Arc::clone(&q));
+        let p = std::thread::spawn(move || {
+            let vals: Vec<u64> = (1..=1000).collect();
+            for chunk in vals.chunks(16) {
+                producer.enqueue_batch(chunk);
+            }
+        });
+        let c = std::thread::spawn(move || {
+            let mut sum = 0u64;
+            let mut got = 0usize;
+            let mut out = Vec::new();
+            while got < 1000 {
+                out.clear();
+                got += consumer.dequeue_batch(&mut out, 16);
+                sum += out.iter().sum::<u64>();
+            }
+            sum
+        });
+        p.join().unwrap();
+        assert_eq!(c.join().unwrap(), (1..=1000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn owned_typed_batch_roundtrip_and_bounce() {
+        let q: Arc<WfQueue<String, 4>> = Arc::new(WfQueue::with_config(
+            crate::Config::default().with_segment_ceiling(1),
+        ));
+        let mut h = OwnedLocalHandle::new(Arc::clone(&q));
+        let batch: Vec<String> = (0..9).map(|i| format!("o{i}")).collect();
+        let Err(Full(back)) = h.try_enqueue_batch(batch.clone()) else {
+            panic!("expected Full");
+        };
+        assert_eq!(back, batch);
+        h.enqueue_batch(batch.clone()); // plain batch ignores the gate
+        let mut out = Vec::new();
+        assert_eq!(h.dequeue_batch(&mut out, 16), 9);
+        assert_eq!(out, batch);
     }
 
     #[test]

@@ -154,6 +154,54 @@ impl<T: Send, const N: usize> LocalHandle<'_, T, N> {
             unsafe { *Box::from_raw(bits as *mut T) }
         })
     }
+
+    /// Enqueues every value in `values`, in order, claiming all the cells
+    /// with **one FAA** (see [`Handle::enqueue_batch`] and DESIGN.md §10).
+    /// The batch is contiguous in the FIFO order unless a concurrent
+    /// dequeuer poisons a pre-claimed cell, in which case the affected
+    /// suffix falls back to element-wise enqueues (still FIFO within the
+    /// batch). Wait-free.
+    pub fn enqueue_batch(&mut self, values: Vec<T>) {
+        let ptrs: Vec<u64> = values
+            .into_iter()
+            .map(|v| Box::into_raw(Box::new(v)) as u64)
+            .collect();
+        self.raw.enqueue_batch(&ptrs);
+    }
+
+    /// Like [`enqueue_batch`](Self::enqueue_batch), but fails fast with
+    /// [`Full`] — handing the whole batch back, in order, with no element
+    /// published — when the queue's segment ceiling leaves less than
+    /// `⌈values.len() / N⌉` segments of headroom. Never fails on an
+    /// unbounded queue.
+    pub fn try_enqueue_batch(&mut self, values: Vec<T>) -> Result<(), Full<Vec<T>>> {
+        let ptrs: Vec<u64> = values
+            .into_iter()
+            .map(|v| Box::into_raw(Box::new(v)) as u64)
+            .collect();
+        self.raw.try_enqueue_batch(&ptrs).map_err(|Full(())| {
+            // SAFETY: rejection is all-or-nothing and happens before any
+            // cell claim; every box is still exclusively ours.
+            Full(
+                ptrs.iter()
+                    .map(|&p| unsafe { *Box::from_raw(p as *mut T) })
+                    .collect(),
+            )
+        })
+    }
+
+    /// Dequeues up to `max` values into `out` with **one FAA**, returning
+    /// how many were appended (see [`Handle::dequeue_batch`]). Returns 0
+    /// only when the queue was observed empty. Wait-free.
+    pub fn dequeue_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut bits = Vec::with_capacity(max);
+        let n = self.raw.dequeue_batch(&mut bits, max);
+        out.extend(bits.into_iter().map(|b| {
+            // SAFETY: same unique-ownership argument as `dequeue`.
+            unsafe { *Box::from_raw(b as *mut T) }
+        }));
+        n
+    }
 }
 
 impl<T, const N: usize> Drop for WfQueue<T, N> {
@@ -275,6 +323,50 @@ mod tests {
             });
         });
         assert_eq!(drops.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn typed_batches_roundtrip_heap_values() {
+        let q: WfQueue<String> = WfQueue::new();
+        let mut h = q.handle();
+        h.enqueue_batch((0..20).map(|i| format!("v{i}")).collect());
+        let mut out = Vec::new();
+        assert_eq!(h.dequeue_batch(&mut out, 8), 8);
+        assert_eq!(h.dequeue_batch(&mut out, 64), 12);
+        let expect: Vec<String> = (0..20).map(|i| format!("v{i}")).collect();
+        assert_eq!(out, expect);
+        assert_eq!(h.dequeue_batch(&mut out, 4), 0);
+    }
+
+    #[test]
+    fn typed_try_enqueue_batch_returns_whole_batch_on_full() {
+        // Ceiling of 1 segment on a 4-cell queue: a 9-value batch needs
+        // ⌈9/4⌉ = 3 segments of headroom and must bounce untouched.
+        let q: WfQueue<String, 4> =
+            WfQueue::with_config(Config::default().with_segment_ceiling(1));
+        let mut h = q.handle();
+        let batch: Vec<String> = (0..9).map(|i| format!("b{i}")).collect();
+        let Err(Full(back)) = h.try_enqueue_batch(batch.clone()) else {
+            panic!("expected Full");
+        };
+        assert_eq!(back, batch, "rejected batch must come back in order");
+        assert!(q.is_empty(), "no element may have been published");
+    }
+
+    #[test]
+    fn typed_batch_values_drop_exactly_once() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let q: WfQueue<DropCounter> = WfQueue::new();
+            let mut h = q.handle();
+            h.enqueue_batch((0..6).map(|_| DropCounter(Arc::clone(&drops))).collect());
+            let mut out = Vec::new();
+            assert_eq!(h.dequeue_batch(&mut out, 2), 2);
+            drop(out);
+            assert_eq!(drops.load(Ordering::Relaxed), 2);
+            drop(h);
+        }
+        assert_eq!(drops.load(Ordering::Relaxed), 6, "queue drop drains the rest");
     }
 
     #[test]

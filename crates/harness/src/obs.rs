@@ -55,6 +55,30 @@ pub fn render_prometheus(stats: &QueueStats, gauges: Option<&Gauges>) -> String 
     counter(&mut out, "wfq_segs_recycled_total", "Segments recycled into the bounded-mode pool", s.segs_recycled);
     counter(&mut out, "wfq_enq_rejected_total", "Enqueues rejected at the segment ceiling", s.enq_rejected);
     counter(&mut out, "wfq_forced_cleanups_total", "Enqueuer-elected (forced) reclamation passes", s.forced_cleanups);
+    counter(&mut out, "wfq_enq_batches_total", "Batch enqueue calls (one FAA each)", s.enq_batches);
+    counter(&mut out, "wfq_enq_batched_vals_total", "Values enqueued through batch calls", s.enq_batched_vals);
+    counter(&mut out, "wfq_enq_batch_stragglers_total", "Batch enqueue elements that fell to the slow path", s.enq_batch_stragglers);
+    counter(&mut out, "wfq_enq_batch_abandoned_total", "Pre-claimed cells abandoned after a batch straggler", s.enq_batch_abandoned);
+    counter(&mut out, "wfq_deq_batches_total", "Batch dequeue calls (including empty fast-outs)", s.deq_batches);
+    counter(&mut out, "wfq_deq_batched_vals_total", "Values dequeued through batch calls", s.deq_batched_vals);
+    counter(&mut out, "wfq_deq_batch_partial_total", "Batch dequeue claims trimmed below the requested width", s.deq_batch_partial);
+    counter(&mut out, "wfq_deq_batch_stragglers_total", "Batch dequeue cells that fell to the slow path", s.deq_batch_stragglers);
+    if s.enq_batches > 0 {
+        gauge(
+            &mut out,
+            "wfq_enq_batch_avg_width",
+            "Mean claimed width of batch enqueues (absent: no batches ran)",
+            s.avg_enq_batch_width(),
+        );
+    }
+    if s.deq_batches > 0 {
+        gauge(
+            &mut out,
+            "wfq_deq_batch_avg_width",
+            "Mean delivered width of batch dequeues (absent: no batches ran)",
+            s.avg_deq_batch_width(),
+        );
+    }
     if let Some(g) = gauges {
         gauge(&mut out, "wfq_head_index", "Head index H (dequeue FAA counter)", g.head_index as f64);
         gauge(&mut out, "wfq_tail_index", "Tail index T (enqueue FAA counter)", g.tail_index as f64);
@@ -181,6 +205,30 @@ mod tests {
         assert!(out.contains("wfq_pooled_segments 3\n"));
         assert!(out.contains("wfq_segment_ceiling 64\n"));
         assert!(out.contains("wfq_ceiling_headroom 12\n"));
+    }
+
+    #[test]
+    fn batch_counters_always_render_and_widths_only_when_batches_ran() {
+        let idle = render_prometheus(&QueueStats::default(), None);
+        assert!(idle.contains("wfq_enq_batches_total 0\n"));
+        assert!(idle.contains("wfq_deq_batch_stragglers_total 0\n"));
+        assert!(!idle.contains("wfq_enq_batch_avg_width"), "no batches ran");
+        assert!(!idle.contains("wfq_deq_batch_avg_width"));
+
+        let s = QueueStats {
+            enq_batches: 2,
+            enq_batched_vals: 16,
+            deq_batches: 4,
+            deq_batched_vals: 10,
+            deq_batch_partial: 1,
+            ..Default::default()
+        };
+        let out = render_prometheus(&s, None);
+        assert!(out.contains("wfq_enq_batched_vals_total 16\n"));
+        assert!(out.contains("wfq_deq_batch_partial_total 1\n"));
+        assert!(out.contains("wfq_enq_batch_avg_width 8\n"));
+        assert!(out.contains("wfq_deq_batch_avg_width 2.5\n"));
+        assert!(out.contains("# TYPE wfq_enq_batch_avg_width gauge"));
     }
 
     #[test]

@@ -58,6 +58,13 @@ pub enum EventKind {
     /// A reclamation pass recycled segments into the bounded-mode pool
     /// instead of freeing them (arg: segments recycled).
     SegRecycle = 18,
+    /// A batch enqueue claimed its cells with one FAA (arg: batch width k).
+    /// Per-element completions still emit their own fast/slow events when a
+    /// straggler falls back, so widths — not op counts — are the payload.
+    EnqBatch = 19,
+    /// A batch dequeue claimed its cell run with one FAA (arg: claimed
+    /// width, after the `(H, T)` partial-probe trim).
+    DeqBatch = 20,
 }
 
 /// Every kind, in discriminant order (index `k as usize` is `ALL[k]`).
@@ -81,6 +88,8 @@ pub const ALL_KINDS: &[EventKind] = &[
     EventKind::EnqRejected,
     EventKind::ForcedCleanup,
     EventKind::SegRecycle,
+    EventKind::EnqBatch,
+    EventKind::DeqBatch,
 ];
 
 impl EventKind {
@@ -111,13 +120,19 @@ impl EventKind {
             EventKind::EnqRejected => "enq_rejected",
             EventKind::ForcedCleanup => "forced_cleanup",
             EventKind::SegRecycle => "seg_recycle",
+            EventKind::EnqBatch => "enq_batch",
+            EventKind::DeqBatch => "deq_batch",
         }
     }
 
     /// Chrome trace category (Perfetto groups and filters by these).
     pub fn category(self) -> &'static str {
         match self {
-            EventKind::EnqFast | EventKind::DeqFast | EventKind::DeqEmpty => "fast",
+            EventKind::EnqFast
+            | EventKind::DeqFast
+            | EventKind::DeqEmpty
+            | EventKind::EnqBatch
+            | EventKind::DeqBatch => "fast",
             EventKind::EnqSlowEnter | EventKind::EnqSlowExit => "slow",
             EventKind::DeqSlowEnter | EventKind::DeqSlowExit => "slow",
             EventKind::HelpEnqCommit
@@ -155,6 +170,7 @@ impl EventKind {
             EventKind::SegFree => "segments_freed",
             EventKind::EnqRejected => "ceiling",
             EventKind::SegRecycle => "segments_recycled",
+            EventKind::EnqBatch | EventKind::DeqBatch => "width",
         }
     }
 

@@ -88,7 +88,18 @@ mod fuzz {
     /// fresh queue under per-thread seeded plans; returns the recorded
     /// history already certified by the *necessary-conditions* checker,
     /// and runs the exhaustive checker when the history is small enough.
-    fn run_schedule(seed: u64, cfg: Config, producers: u64, consumers: u64) {
+    ///
+    /// With `batch >= 2` every thread alternates single ops with batch ops
+    /// of that width (one FAA per batch), recorded through the checker's
+    /// batch helpers. The adjacency links those helpers attach are kept
+    /// only when the queue's batch-straggler counters stayed at zero —
+    /// i.e. every batch element really completed on the one-FAA fast path,
+    /// which is exactly when a batch is k *adjacent* atomic ops. Under
+    /// fault plans that force the slow paths, a straggler element may land
+    /// past concurrent single ops, so dirty rounds demote each batch to k
+    /// same-interval ops (conservation and real-time order still fully
+    /// certified).
+    fn run_schedule(seed: u64, cfg: Config, producers: u64, consumers: u64, batch: u32) {
         let q = RawQueue::<SEG>::with_config(cfg);
         let rec = Recorder::new();
         // Consumers poll a little more than was produced so EMPTY returns
@@ -102,11 +113,28 @@ mod fuzz {
                 s.spawn(move || {
                     fault::with_plan(thread_plan(seed, t, 70), || {
                         let mut h = q.register();
-                        for k in 0..VALS_PER_THREAD {
-                            let v = t * VALS_PER_THREAD + k + 1;
-                            let inv = tr.invoke();
-                            h.enqueue(v);
-                            tr.record(OpKind::Enqueue(v), inv);
+                        let mut k = 0u64;
+                        let mut use_batch = batch >= 2;
+                        while k < VALS_PER_THREAD {
+                            let width = u64::from(batch).min(VALS_PER_THREAD - k);
+                            if use_batch && width >= 2 {
+                                let vals: Vec<u64> = (0..width)
+                                    .map(|j| t * VALS_PER_THREAD + k + j + 1)
+                                    .collect();
+                                let inv = tr.invoke();
+                                h.enqueue_batch(&vals);
+                                tr.record_enqueue_batch(&vals, inv);
+                                k += width;
+                            } else {
+                                let v = t * VALS_PER_THREAD + k + 1;
+                                let inv = tr.invoke();
+                                h.enqueue(v);
+                                tr.record(OpKind::Enqueue(v), inv);
+                                k += 1;
+                            }
+                            if batch >= 2 {
+                                use_batch = !use_batch;
+                            }
                         }
                     });
                 });
@@ -117,17 +145,41 @@ mod fuzz {
                 s.spawn(move || {
                     fault::with_plan(thread_plan(seed, producers + t, 70), || {
                         let mut h = q.register();
-                        for _ in 0..deq_attempts {
-                            let inv = tr.invoke();
-                            let got = h.dequeue();
-                            tr.record(OpKind::Dequeue(got), inv);
+                        let mut out = Vec::new();
+                        let mut polled = 0u64;
+                        let mut use_batch = false;
+                        while polled < deq_attempts {
+                            if use_batch {
+                                out.clear();
+                                let inv = tr.invoke();
+                                h.dequeue_batch(&mut out, batch as usize);
+                                tr.record_dequeue_batch(&out, inv);
+                                polled += u64::from(batch);
+                            } else {
+                                let inv = tr.invoke();
+                                let got = h.dequeue();
+                                tr.record(OpKind::Dequeue(got), inv);
+                                polled += 1;
+                            }
+                            if batch >= 2 {
+                                use_batch = !use_batch;
+                            }
                         }
                     });
                 });
             }
         });
 
-        let h = rec.finish();
+        let stats = q.stats();
+        let clean = stats.enq_batch_stragglers == 0
+            && stats.enq_batch_abandoned == 0
+            && stats.deq_batch_stragglers == 0;
+        let mut h = rec.finish();
+        if !clean {
+            for op in &mut h.ops {
+                op.batch = None;
+            }
+        }
         if let Err(v) = check_necessary(&h) {
             panic!(
                 "necessary-condition violation under fuzz schedule: {v:?}\n\
@@ -149,28 +201,45 @@ mod fuzz {
         }
     }
 
-    /// Schedule shapes the sweep cycles through. The patience-0 shapes
-    /// force the wait-free slow paths (every lost fast-path race enlists
+    /// Schedule shapes the sweep cycles through (the last tuple field is
+    /// the batch width; 0 disables batch ops). The patience-0 shapes force
+    /// the wait-free slow paths (every lost fast-path race enlists
     /// helpers); the `max_garbage(1)` shapes force a reclamation pass at
     /// every segment retirement.
-    fn schedule_for(seed: u64) -> (Config, u64, u64) {
-        match seed % 5 {
+    fn schedule_for(seed: u64) -> (Config, u64, u64, u32) {
+        match seed % 6 {
             // Slow-path stress: zero patience, consumer-heavy (cells get
             // ⊤-poisoned under the enqueuers, forcing enq_slow).
-            0 => (Config::wf0().with_max_garbage(1), 2, 3),
+            0 => (Config::wf0().with_max_garbage(1), 2, 3, 0),
             // Reclamation stress: default patience, tiny garbage bound.
-            1 => (Config::wf10().with_max_garbage(1), 3, 2),
+            1 => (Config::wf10().with_max_garbage(1), 3, 2, 0),
             // Mixed: low patience, balanced.
-            2 => (Config::default().with_patience(1).with_max_garbage(2), 2, 2),
+            2 => (
+                Config::default().with_patience(1).with_max_garbage(2),
+                2,
+                2,
+                0,
+            ),
             // Producer-heavy WF-0: deep queues, segment turnover.
-            3 => (Config::wf0().with_max_garbage(2), 3, 2),
+            3 => (Config::wf0().with_max_garbage(2), 3, 2, 0),
             // Bounded-memory mode: a ceiling tight enough that segment
             // acquisition goes through the recycling pool (and, when the
             // consumers lag, through the acquire stall/overshoot path).
-            _ => (
+            4 => (
                 Config::wf0().with_max_garbage(1).with_segment_ceiling(3),
                 2,
                 2,
+                0,
+            ),
+            // Batch shape: every thread interleaves one-FAA batch claims
+            // (width 2–4, varying with the seed) with single-op claims,
+            // under a low-patience config so batch stragglers meet the
+            // helping protocol mid-batch.
+            _ => (
+                Config::default().with_patience(1).with_max_garbage(1),
+                2,
+                2,
+                2 + ((seed / 6) % 3) as u32,
             ),
         }
     }
@@ -184,15 +253,17 @@ mod fuzz {
         // A pinned seed (from a failure message) replays one schedule.
         if let Ok(s) = std::env::var("WFQ_FUZZ_SEED") {
             let seed: u64 = s.parse().expect("WFQ_FUZZ_SEED must be a u64");
-            let (cfg, p, c) = schedule_for(seed);
-            run_schedule(seed, cfg, p, c);
+            let (cfg, p, c, b) = schedule_for(seed);
+            run_schedule(seed, cfg, p, c, b);
             return;
         }
         for seed in 0..SWEEP_SEEDS {
-            let (cfg, p, c) = schedule_for(seed);
-            run_schedule(seed, cfg, p, c);
+            let (cfg, p, c, b) = schedule_for(seed);
+            run_schedule(seed, cfg, p, c, b);
         }
         drive_bounded_points();
+        drive_batch_points();
+        drive_help_enq_point();
         let cov = fault::coverage();
         let missed: Vec<&str> = wfqueue::FAULT_POINTS
             .iter()
@@ -241,6 +312,106 @@ mod fuzz {
             h.enqueue(v); // plain enqueue: stalls, then overshoots
         }
         assert!(fault::coverage_count("pool::stall") > 0);
+    }
+
+    /// Deterministic drivers for the batch injection points (DESIGN.md
+    /// §10), exploiting a protocol fact visible single-threadedly: an
+    /// EMPTY probe ⊤-seals the cell `T` points at *without* advancing `T`,
+    /// so the very next batch enqueue's FAA claims the sealed cell — its
+    /// first element stragglers, the rest are abandoned, and the cells it
+    /// left behind send the following batch dequeue down its straggler arm.
+    /// No race required anywhere.
+    fn drive_batch_points() {
+        let q = RawQueue::<SEG>::with_config(Config::wf10());
+        let mut h = q.register();
+
+        // Seal the head-of-tail cell, then batch straight into it.
+        assert_eq!(h.dequeue(), None);
+        h.enqueue_batch(&[1, 2, 3]);
+        assert!(fault::coverage_count("enq_batch::post_faa") > 0);
+        assert!(fault::coverage_count("enq_batch::straggler") > 0);
+        assert!(fault::coverage_count("enq_batch::abandon") > 0);
+
+        // The straggler fallback left abandoned (⊤) cells below the new
+        // values; a batch dequeue's claim run crosses them.
+        let mut out = Vec::new();
+        while out.len() < 3 {
+            let before = out.len();
+            h.dequeue_batch(&mut out, 3);
+            assert!(out.len() > before, "batch values lost: {out:?}");
+        }
+        assert_eq!(out, vec![1, 2, 3], "straggler fallback broke batch FIFO");
+        assert!(fault::coverage_count("deq_batch::post_faa") > 0);
+        assert!(fault::coverage_count("deq_batch::straggler") > 0);
+
+        // Partial claim: one value available, two requested — the (H, T)
+        // snapshot trims the claim before the FAA.
+        let q = RawQueue::<SEG>::with_config(Config::wf10());
+        let mut h = q.register();
+        h.enqueue(7);
+        let mut out = Vec::new();
+        assert_eq!(h.dequeue_batch(&mut out, 2), 1);
+        assert_eq!(out, vec![7]);
+        assert!(fault::coverage_count("deq_batch::partial_probe") > 0);
+    }
+
+    /// Deterministic driver for `help_enq::pre_complete` — a dequeuer
+    /// completing a *pending* slow-path enqueue request. The fuzzed
+    /// schedules reach it in most runs, but the window needs a dequeuer to
+    /// arrive while a request is still pending, so under an unlucky
+    /// scheduler the sweep alone can miss it. Staged without a race:
+    ///
+    /// 1. handle M's empty probe ⊤-seals cell 0 (H: 0 → 1, T stays 0);
+    /// 2. handle A (patience 0) enqueues: its one fast attempt claims the
+    ///    sealed cell, fails, publishes a slow-path request — and a fault
+    ///    hook parks A right there, request pending;
+    /// 3. handle B registers *after* A, so the ring splice points B's
+    ///    `enq_peer` at A, and B's single `H == T` probe (cell 1) finds the
+    ///    pending request via the peer scan, reserves it into its cell, and
+    ///    completes it — `help_enq::pre_complete` — returning A's value.
+    fn drive_help_enq_point() {
+        let q = RawQueue::<SEG>::with_config(Config::wf0());
+        let mut m = q.register(); // the ring anchor; stays live so B's
+                                  // node is a fresh splice, not a recycle
+        assert_eq!(m.dequeue(), None); // seals cell 0
+
+        let parked = Arc::new(Event::default());
+        let release = Arc::new(Event::default());
+        std::thread::scope(|s| {
+            {
+                let q = &q;
+                let (parked, release) = (Arc::clone(&parked), Arc::clone(&release));
+                s.spawn(move || {
+                    let mut a = q.register();
+                    let p = Arc::clone(&parked);
+                    let r = Arc::clone(&release);
+                    fault::with_plan(
+                        FaultPlan::new().hook_at(
+                            "enq_slow::request_published",
+                            0,
+                            Arc::new(move |_| {
+                                p.set();
+                                r.wait();
+                            }),
+                        ),
+                        || a.enqueue(42),
+                    );
+                });
+            }
+            parked.wait();
+            let before = fault::coverage_count("help_enq::pre_complete");
+            let mut b = q.register();
+            assert_eq!(
+                b.dequeue(),
+                Some(42),
+                "the probe must complete the parked request and take its value"
+            );
+            assert!(
+                fault::coverage_count("help_enq::pre_complete") > before,
+                "helping a parked pending request must pass pre_complete"
+            );
+            release.set();
+        });
     }
 
     /// The branch counters behind the paper's Table 2 extension: a
@@ -537,6 +708,104 @@ mod fuzz {
             "reclamation still stuck after the hazard was released: {s2:?}"
         );
         assert_eq!(dequeued_while_parked.load(Ordering::SeqCst), 0);
+    }
+
+    /// The batch analogue of the parked-hazard regression: a *batch*
+    /// dequeuer parks between publishing its entry hazard and the claiming
+    /// FAA (batch ops share the single-op `deq::hazard_published` window),
+    /// while another thread churns segments with pure batch traffic. The
+    /// batch claim covers k cells under one hazard, so a reclaimer that
+    /// treated batch hazards any differently from single-op hazards would
+    /// free the parked thread's segment out from under its whole claim
+    /// run. The cleaner must refuse to free anything until release.
+    #[test]
+    fn batch_ops_respect_a_parked_hazard() {
+        let q = RawQueue::<SEG>::with_config(Config::default().with_max_garbage(1));
+        let parked = Arc::new(Event::default());
+        let release = Arc::new(Event::default());
+
+        std::thread::scope(|s| {
+            // Thread A: a batch dequeue parked inside the hazard window,
+            // pinning segment 0 (fresh handle).
+            {
+                let q = &q;
+                let (parked, release) = (Arc::clone(&parked), Arc::clone(&release));
+                s.spawn(move || {
+                    let mut h = q.register();
+                    let p = Arc::clone(&parked);
+                    let r = Arc::clone(&release);
+                    let mut out = Vec::new();
+                    fault::with_plan(
+                        FaultPlan::new().hook_at(
+                            "deq::hazard_published",
+                            0,
+                            Arc::new(move |_| {
+                                p.set();
+                                r.wait();
+                            }),
+                        ),
+                        || {
+                            let _ = h.dequeue_batch(&mut out, 4);
+                        },
+                    );
+                });
+            }
+
+            // Thread B: pure batch churn across many segment boundaries.
+            {
+                let q = &q;
+                let parked = Arc::clone(&parked);
+                let release = Arc::clone(&release);
+                s.spawn(move || {
+                    parked.wait();
+                    let mut h = q.register();
+                    let mut out = Vec::new();
+                    let mut batch = [0u64; 8];
+                    let mut v = 0u64;
+                    for _ in 0..SEG as u64 * 40 / 8 {
+                        for slot in &mut batch {
+                            v += 1;
+                            *slot = v;
+                        }
+                        h.enqueue_batch(&batch);
+                        out.clear();
+                        let _ = h.dequeue_batch(&mut out, 8);
+                    }
+                    let s1 = q.stats();
+                    assert!(s1.enq_batches > 0 && s1.deq_batches > 0);
+                    assert!(
+                        s1.cleanups > 0,
+                        "batch traffic never elected a cleaner: {s1:?}"
+                    );
+                    assert_eq!(
+                        s1.segs_freed, 0,
+                        "reclaimer freed past a parked batch dequeuer: {s1:?}"
+                    );
+                    release.set();
+                });
+            }
+        });
+
+        // Hazard released: the same batch traffic must reclaim freely.
+        let mut h = q.register();
+        let mut out = Vec::new();
+        let mut batch = [0u64; 8];
+        let mut v = 1 << 20;
+        for _ in 0..SEG as u64 * 40 / 8 {
+            for slot in &mut batch {
+                v += 1;
+                *slot = v;
+            }
+            h.enqueue_batch(&batch);
+            out.clear();
+            let _ = h.dequeue_batch(&mut out, 8);
+        }
+        drop(h);
+        let s2 = q.stats();
+        assert!(
+            s2.segs_freed > 0,
+            "reclamation still stuck after the batch hazard was released: {s2:?}"
+        );
     }
 
     /// The fuzz sweep must also reach the adopted-hazard instruction — the
