@@ -5,7 +5,7 @@
 //! ```text
 //! cargo run -p wfq-bench --release --bin figure2 -- \
 //!     [--workload pairs|fifty|both] [--threads 1,2,4,8] [--ops N] \
-//!     [--segment-ceiling S] [--batch K] \
+//!     [--segment-ceiling S] [--batch K] [--handicap-ns N] [--commit SHA] \
 //!     [--full] [--quick] [--csv out.csv] [--json out.json] [--trace out.trace.json]
 //! ```
 //!
@@ -18,8 +18,13 @@
 //! small host. `--quick` shrinks further for smoke tests.
 //!
 //! `--json` writes the machine-readable result document (the committed
-//! `results/BENCH_pairwise.json` snapshot format); with `--workload both`
-//! the workload name is appended before the extension. `--trace` drains the
+//! `results/BENCH_pairwise.json` snapshot format); `--commit SHA` stamps
+//! the snapshot with the commit it measured (what `wfq-regress` expects of
+//! baselines); with `--workload both` the workload name is appended before
+//! the extension. `--handicap-ns N` injects a synthetic, *non-excluded*
+//! per-operation slowdown — only useful for demonstrating that the
+//! regression gate trips (see `.github/workflows/ci.yml`, job `regress`).
+//! `--trace` drains the
 //! flight recorders into a Chrome trace file — build with `--features
 //! trace` for it to contain events.
 
@@ -28,7 +33,8 @@ use std::fmt::Write as _;
 use wfq_baselines::{CcQueue, FaaBench, KpQueue, Lcrq, MsQueue, MutexQueue, Wf0};
 use wfq_bench::{default_ops, default_thread_sweep, Args};
 use wfq_harness::{
-    render_csv, render_json, render_markdown, run_series, BenchConfig, Series, Workload,
+    render_csv, render_markdown, report::render_json_with_commit, run_series, BenchConfig, Series,
+    Workload,
 };
 use wfqueue::RawQueue;
 
@@ -74,6 +80,13 @@ fn config(args: &Args, workload: Workload) -> BenchConfig {
     // Bounded-memory mode: price the wait-free queue's segment ceiling
     // against the unbounded baselines (only WF-10/WF-0 honor it).
     cfg.segment_ceiling = args.get("segment-ceiling").and_then(|s| s.parse().ok());
+    cfg.handicap_ns = args.num("handicap-ns", 0);
+    if cfg.handicap_ns > 0 {
+        eprintln!(
+            "  handicap = {} ns/op (synthetic slowdown, NOT work-excluded)",
+            cfg.handicap_ns
+        );
+    }
     cfg
 }
 
@@ -149,13 +162,15 @@ fn main() {
         eprintln!("csv written to {path}");
     }
     if let Some(path) = args.get("json") {
+        let commit = args.get("commit");
         for (label, series) in &json_out {
             let path = if json_out.len() > 1 {
                 suffixed(path, label)
             } else {
                 path.to_string()
             };
-            std::fs::write(&path, render_json("figure2", label, series)).expect("write json");
+            std::fs::write(&path, render_json_with_commit("figure2", label, commit, series))
+                .expect("write json");
             eprintln!("json written to {path}");
         }
     }

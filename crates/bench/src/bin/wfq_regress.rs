@@ -1,0 +1,133 @@
+//! `wfq-regress` — the statistical performance-regression gate.
+//!
+//! Compares two benchmark snapshot JSONs (the normalized schema emitted by
+//! `figure2 --json`, committed under `results/`) point-by-point on the
+//! `(queue, threads)` key, using the harness's Student-t 95% CI machinery
+//! (Georges et al. §5.1). A point regresses when the candidate mean is
+//! slower by more than `--threshold` percent **and** the two confidence
+//! intervals do not overlap — wide CIs (noisy hosts, quick runs) cannot
+//! trip the gate, and significant-but-tiny wobbles cannot either.
+//!
+//! ```text
+//! # gate: exit 0 on pass, 1 on regression, 2 on usage/parse error
+//! wfq-regress --baseline results/BENCH_pairwise.json \
+//!             --candidate /tmp/head.json [--threshold 5]
+//!
+//! # record: append a normalized one-line snapshot to the perf trajectory
+//! wfq-regress --record /tmp/head.json [--out results/trajectory.jsonl] \
+//!             [--commit SHA]
+//! ```
+//!
+//! `--record` normalizes the snapshot (stable key order, fixed-precision
+//! numbers, one line) and appends it to `results/trajectory.jsonl`, so the
+//! repository accumulates a `git diff`-able perf history; `--commit`
+//! overrides/sets the snapshot's commit field at record time. See
+//! EXPERIMENTS.md ("Regression gate") for how to bless an intentional
+//! perf change.
+
+use std::process::ExitCode;
+
+use wfq_bench::Args;
+use wfq_harness::regress::{compare, parse_snapshot, trajectory_line};
+
+fn die(msg: &str) -> ExitCode {
+    eprintln!("wfq-regress: {msg}");
+    eprintln!(
+        "usage: wfq-regress --baseline BASE.json --candidate CAND.json [--threshold PCT]\n\
+                wfq-regress --record SNAP.json [--out results/trajectory.jsonl] [--commit SHA]"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<wfq_harness::regress::Snapshot, String> {
+    let doc =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_snapshot(&doc).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+
+    if let Some(snap_path) = args.get("record") {
+        let mut snap = match load(snap_path) {
+            Ok(s) => s,
+            Err(e) => return die(&e),
+        };
+        if let Some(c) = args.get("commit") {
+            snap.commit = Some(c.to_string());
+        }
+        let out = args.get("out").unwrap_or("results/trajectory.jsonl");
+        let line = trajectory_line(&snap);
+        let mut body = match std::fs::read_to_string(out) {
+            Ok(existing) => existing,
+            Err(_) => String::new(),
+        };
+        if !body.is_empty() && !body.ends_with('\n') {
+            body.push('\n');
+        }
+        body.push_str(&line);
+        body.push('\n');
+        if let Err(e) = std::fs::write(out, body) {
+            return die(&format!("cannot write {out}: {e}"));
+        }
+        eprintln!(
+            "wfq-regress: recorded {} / {} ({} series) to {out}",
+            snap.benchmark,
+            snap.workload,
+            snap.series.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let (Some(base_path), Some(cand_path)) = (args.get("baseline"), args.get("candidate"))
+    else {
+        return die("need --baseline and --candidate (or --record)");
+    };
+    let threshold = args
+        .get("threshold")
+        .map(|t| t.parse::<f64>())
+        .transpose()
+        .unwrap_or(None)
+        .unwrap_or(5.0);
+
+    let base = match load(base_path) {
+        Ok(s) => s,
+        Err(e) => return die(&e),
+    };
+    let cand = match load(cand_path) {
+        Ok(s) => s,
+        Err(e) => return die(&e),
+    };
+    if base.workload != cand.workload {
+        eprintln!(
+            "wfq-regress: warning: comparing different workloads ({} vs {})",
+            base.workload, cand.workload
+        );
+    }
+
+    let cmp = compare(&base, &cand, threshold);
+    println!(
+        "wfq-regress: {} / {} — baseline {} vs candidate {} (threshold {threshold}%)",
+        base.benchmark,
+        base.workload,
+        base.commit.as_deref().unwrap_or("?"),
+        cand.commit.as_deref().unwrap_or("?"),
+    );
+    print!("{}", cmp.render());
+
+    let regressions = cmp.regressions();
+    if regressions.is_empty() {
+        println!(
+            "PASS: no significant regression past {threshold}% across {} points",
+            cmp.deltas.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "FAIL: {} of {} points regressed (significant slowdown > {threshold}%)",
+            regressions.len(),
+            cmp.deltas.len()
+        );
+        ExitCode::FAILURE
+    }
+}

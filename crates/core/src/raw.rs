@@ -410,7 +410,8 @@ impl<const N: usize> RawQueue<N> {
         let r = &h.enq_req;
         r.publish(v, cell_id); // line 72
         inject!("enq_slow::request_published");
-        wfq_obs::record!(wfq_obs::EventKind::EnqSlowEnter, cell_id);
+        // Op id for the whole episode: the publish id (our failed FAA cell).
+        wfq_obs::record!(wfq_obs::EventKind::EnqSlowEnter, cell_id, cell_id);
 
         // Line 75: traverse with a local tail pointer because the commit
         // below may need to revisit an *earlier* cell.
@@ -444,7 +445,7 @@ impl<const N: usize> RawQueue<N> {
         // SAFETY: id ≥ cell_id ≥ (*h.tail).id * N, all hazard-protected.
         let c = unsafe { &*find_cell(&h.tail, id, &self.src(h)) };
         self.enq_commit(c, v, id);
-        wfq_obs::record!(wfq_obs::EventKind::EnqSlowExit, id);
+        wfq_obs::record!(wfq_obs::EventKind::EnqSlowExit, id, cell_id);
         id
     }
 
@@ -531,15 +532,25 @@ impl<const N: usize> RawQueue<N> {
             if c.load_val() == VAL_TOP && self.tail_index.load(Ordering::SeqCst) <= i {
                 return HelpEnq::Empty;
             }
-        } else if r.try_claim(s.index, i)
-            || (s == ReqState { pending: false, index: i } && c.load_val() == VAL_TOP)
-        {
-            // Line 123–126: we claimed it for this cell, or someone else
-            // claimed it for this cell and hasn't committed yet.
-            inject!("help_enq::pre_complete");
-            self.enq_commit(c, v, i);
-            HandleStats::bump(&h.stats.help_enq_commit);
-            wfq_obs::record!(wfq_obs::EventKind::HelpEnqCommit, i);
+        } else {
+            let claimed_here = r.try_claim(s.index, i);
+            if claimed_here
+                || (s == ReqState { pending: false, index: i } && c.load_val() == VAL_TOP)
+            {
+                // Line 123–126: we claimed it for this cell, or someone else
+                // claimed it for this cell and hasn't committed yet.
+                inject!("help_enq::pre_complete");
+                self.enq_commit(c, v, i);
+                HandleStats::bump(&h.stats.help_enq_commit);
+                // Op id: the publish id our claim CAS consumed. When the
+                // claim already landed elsewhere the id is gone from the
+                // request state, so the hop is recorded without an episode.
+                wfq_obs::record!(
+                    wfq_obs::EventKind::HelpEnqCommit,
+                    i,
+                    if claimed_here { s.index } else { 0 }
+                );
+            }
         }
         // Line 127.
         match c.load_val() {
@@ -662,7 +673,8 @@ impl<const N: usize> RawQueue<N> {
         let r = &h.deq_req;
         r.publish(cid); // line 151
         inject!("deq_slow::request_published");
-        wfq_obs::record!(wfq_obs::EventKind::DeqSlowEnter, cid);
+        // Op id for the whole episode: the publish id (our failed FAA cell).
+        wfq_obs::record!(wfq_obs::EventKind::DeqSlowEnter, cid, cid);
         self.help_deq(h, h); // line 152
         // Lines 153–156: the request's announced cell holds the result.
         let i = r.state().index;
@@ -670,7 +682,7 @@ impl<const N: usize> RawQueue<N> {
         let c = unsafe { &*find_cell(&h.head, i, &self.src(h)) };
         let v = c.load_val();
         advance_index(&self.head_index, i + 1);
-        wfq_obs::record!(wfq_obs::EventKind::DeqSlowExit, i);
+        wfq_obs::record!(wfq_obs::EventKind::DeqSlowExit, i, cid);
         if v == VAL_TOP {
             HandleStats::bump(&h.stats.deq_slow_empty);
             (None, i)
@@ -951,6 +963,10 @@ impl<const N: usize> RawQueue<N> {
         if !s.pending || s.index < id {
             return; // line 162
         }
+        // Past the cheap bail-out: this call will actually work on the
+        // request, so open a helper span tagged with the helpee's op id.
+        // When `deq_slow` self-helps this nests inside its own slow span.
+        wfq_obs::record!(wfq_obs::EventKind::HelpDeqEnter, id, id);
         // Line 164: local pointer for announced cells.
         let ha = AtomicPtr::new(helpee.head.load(Ordering::Acquire));
         // Listing 5 line 220: adopt the helpee's published hazard — an id,
@@ -964,7 +980,7 @@ impl<const N: usize> RawQueue<N> {
         // now be *older* than where a concurrent cleaner's forward pass
         // already scanned — exactly what the reverse pass must catch.
         inject!("help_deq::hazard_adopted");
-        wfq_obs::record!(wfq_obs::EventKind::HazardAdopt, adopted as u64);
+        wfq_obs::record!(wfq_obs::EventKind::HazardAdopt, adopted as u64, id);
         s = r.state(); // line 165: must re-read after hazard adoption
 
         let mut prior = id; // line 166
@@ -1001,13 +1017,14 @@ impl<const N: usize> RawQueue<N> {
                 inject!("help_deq::pre_announce");
                 if r.cas_state((true, prior), (true, cand)) {
                     HandleStats::bump(&h.stats.help_deq_announce);
-                    wfq_obs::record!(wfq_obs::EventKind::HelpDeqAnnounce, cand);
+                    wfq_obs::record!(wfq_obs::EventKind::HelpDeqAnnounce, cand, id);
                 }
                 s = r.state();
                 cand = 0;
             }
             // Line 188: request complete or superseded.
             if !s.pending || r.id() != id {
+                wfq_obs::record!(wfq_obs::EventKind::HelpDeqExit, s.index, id);
                 return;
             }
             // Line 190: locate the announced candidate.
@@ -1024,8 +1041,9 @@ impl<const N: usize> RawQueue<N> {
                 if r.cas_state((true, s.index), (false, s.index)) {
                     // line 196
                     HandleStats::bump(&h.stats.help_deq_complete);
-                    wfq_obs::record!(wfq_obs::EventKind::HelpDeqComplete, s.index);
+                    wfq_obs::record!(wfq_obs::EventKind::HelpDeqComplete, s.index, id);
                 }
+                wfq_obs::record!(wfq_obs::EventKind::HelpDeqExit, s.index, id);
                 return;
             }
             // Lines 200–204: prepare the next round.

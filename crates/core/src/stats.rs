@@ -182,6 +182,44 @@ impl QueueStats {
         self.deq_batch_stragglers += h.deq_batch_stragglers.load(Ordering::Relaxed);
     }
 
+    /// Visits every counter as a `(field_name, value)` pair, in declaration
+    /// order. The single canonical enumeration: the Prometheus exposition
+    /// in `wfq-harness` derives its metric list from this, so a counter
+    /// added here (and to [`absorb`](Self::absorb)) can never be missing
+    /// from the exposition again.
+    pub fn for_each_counter(&self, mut f: impl FnMut(&'static str, u64)) {
+        f("enq_fast", self.enq_fast);
+        f("enq_slow", self.enq_slow);
+        f("deq_fast", self.deq_fast);
+        f("deq_slow", self.deq_slow);
+        f("deq_empty", self.deq_empty);
+        f("help_enq", self.help_enq);
+        f("help_deq", self.help_deq);
+        f("cleanups", self.cleanups);
+        f("segs_alloc", self.segs_alloc);
+        f("segs_freed", self.segs_freed);
+        f("enq_slow_helped", self.enq_slow_helped);
+        f("help_enq_commit", self.help_enq_commit);
+        f("help_enq_seal", self.help_enq_seal);
+        f("deq_slow_empty", self.deq_slow_empty);
+        f("help_deq_announce", self.help_deq_announce);
+        f("help_deq_complete", self.help_deq_complete);
+        f("reclaim_conceded", self.reclaim_conceded);
+        f("reclaim_backward_clamp", self.reclaim_backward_clamp);
+        f("reclaim_noop", self.reclaim_noop);
+        f("enq_rejected", self.enq_rejected);
+        f("forced_cleanups", self.forced_cleanups);
+        f("segs_recycled", self.segs_recycled);
+        f("enq_batches", self.enq_batches);
+        f("enq_batched_vals", self.enq_batched_vals);
+        f("enq_batch_stragglers", self.enq_batch_stragglers);
+        f("enq_batch_abandoned", self.enq_batch_abandoned);
+        f("deq_batches", self.deq_batches);
+        f("deq_batched_vals", self.deq_batched_vals);
+        f("deq_batch_partial", self.deq_batch_partial);
+        f("deq_batch_stragglers", self.deq_batch_stragglers);
+    }
+
     /// Total completed enqueues.
     pub fn enqueues(&self) -> u64 {
         self.enq_fast + self.enq_slow
@@ -532,6 +570,54 @@ mod tests {
         assert_eq!(s.deq_batches, 4);
         assert_eq!(s.deq_batched_vals, 18);
         assert_eq!(s.deq_batch_stragglers, 2);
+    }
+
+    #[test]
+    fn for_each_counter_visits_every_field_exactly_once() {
+        // Exhaustive struct literal, deliberately without `..Default`: a
+        // new counter field fails this test at *compile* time until it is
+        // added both here and to `for_each_counter`.
+        let s = QueueStats {
+            enq_fast: 101,
+            enq_slow: 102,
+            deq_fast: 103,
+            deq_slow: 104,
+            deq_empty: 105,
+            help_enq: 106,
+            help_deq: 107,
+            cleanups: 108,
+            segs_alloc: 109,
+            segs_freed: 110,
+            enq_slow_helped: 111,
+            help_enq_commit: 112,
+            help_enq_seal: 113,
+            deq_slow_empty: 114,
+            help_deq_announce: 115,
+            help_deq_complete: 116,
+            reclaim_conceded: 117,
+            reclaim_backward_clamp: 118,
+            reclaim_noop: 119,
+            enq_rejected: 120,
+            forced_cleanups: 121,
+            segs_recycled: 122,
+            enq_batches: 123,
+            enq_batched_vals: 124,
+            enq_batch_stragglers: 125,
+            enq_batch_abandoned: 126,
+            deq_batches: 127,
+            deq_batched_vals: 128,
+            deq_batch_partial: 129,
+            deq_batch_stragglers: 130,
+        };
+        let mut names = std::collections::BTreeSet::new();
+        let mut values = Vec::new();
+        s.for_each_counter(|name, v| {
+            assert!(names.insert(name), "counter {name} visited twice");
+            values.push(v);
+        });
+        assert_eq!(names.len(), 30);
+        values.sort_unstable();
+        assert_eq!(values, (101..=130).collect::<Vec<u64>>());
     }
 
     #[test]

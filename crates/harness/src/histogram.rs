@@ -14,7 +14,7 @@ const SUBS: usize = 4;
 const EXPS: usize = 40;
 
 /// A fixed-size latency histogram over nanosecond samples.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,

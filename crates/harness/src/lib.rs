@@ -26,7 +26,9 @@ pub mod histogram;
 pub mod json;
 pub mod measure;
 pub mod obs;
+pub mod regress;
 pub mod report;
+pub mod spans;
 pub mod stats;
 pub mod topology;
 pub mod workload;

@@ -30,39 +30,62 @@ fn gauge(out: &mut String, name: &str, help: &str, value: f64) {
     ));
 }
 
+/// Help text for one [`QueueStats`] counter field (the exposition derives
+/// its metric list from [`QueueStats::for_each_counter`], so this lookup —
+/// not the list — is the only thing to extend for a new counter, and a
+/// forgotten entry degrades to a generic line instead of a missing metric).
+fn counter_help(field: &str) -> &'static str {
+    match field {
+        "enq_fast" => "Enqueues completed on the fast path",
+        "enq_slow" => "Enqueues that fell back to the slow path",
+        "deq_fast" => "Dequeues completed on the fast path",
+        "deq_slow" => "Dequeues that fell back to the slow path",
+        "deq_empty" => "Dequeues that returned EMPTY",
+        "help_enq" => "Calls helping a peer's enqueue request",
+        "help_deq" => "Calls helping a peer's dequeue request",
+        "cleanups" => "Reclamation passes executed",
+        "segs_alloc" => "Segments allocated and published",
+        "segs_freed" => "Segments reclaimed",
+        "enq_slow_helped" => "Slow-path enqueues finished by a helper",
+        "help_enq_commit" => "help_enq calls that committed a peer's value",
+        "help_enq_seal" => "Cells sealed unusable by help_enq",
+        "deq_slow_empty" => "Slow-path dequeues that returned EMPTY",
+        "help_deq_announce" => "Candidate cells announced by help_deq",
+        "help_deq_complete" => "Dequeue requests completed by help_deq",
+        "reclaim_conceded" => "Reclamation boundary concessions",
+        "reclaim_backward_clamp" => "Backward-pass hazard clamps",
+        "reclaim_noop" => "Reclamation passes that found nothing",
+        "enq_rejected" => "Enqueues rejected at the segment ceiling",
+        "forced_cleanups" => "Enqueuer-elected (forced) reclamation passes",
+        "segs_recycled" => "Segments recycled into the bounded-mode pool",
+        "enq_batches" => "Batch enqueue calls (one FAA each)",
+        "enq_batched_vals" => "Values enqueued through batch calls",
+        "enq_batch_stragglers" => "Batch enqueue elements that fell to the slow path",
+        "enq_batch_abandoned" => "Pre-claimed cells abandoned after a batch straggler",
+        "deq_batches" => "Batch dequeue calls (including empty fast-outs)",
+        "deq_batched_vals" => "Values dequeued through batch calls",
+        "deq_batch_partial" => "Batch dequeue claims trimmed below the requested width",
+        "deq_batch_stragglers" => "Batch dequeue cells that fell to the slow path",
+        _ => "Queue protocol counter",
+    }
+}
+
 /// Renders queue statistics (and, when given, gauges) in the Prometheus
 /// text exposition format.
 pub fn render_prometheus(stats: &QueueStats, gauges: Option<&Gauges>) -> String {
     let mut out = String::new();
     let s = stats;
-    counter(&mut out, "wfq_enq_fast_total", "Enqueues completed on the fast path", s.enq_fast);
-    counter(&mut out, "wfq_enq_slow_total", "Enqueues that fell back to the slow path", s.enq_slow);
-    counter(&mut out, "wfq_deq_fast_total", "Dequeues completed on the fast path", s.deq_fast);
-    counter(&mut out, "wfq_deq_slow_total", "Dequeues that fell back to the slow path", s.deq_slow);
-    counter(&mut out, "wfq_deq_empty_total", "Dequeues that returned EMPTY", s.deq_empty);
-    counter(&mut out, "wfq_help_enq_total", "Calls helping a peer's enqueue request", s.help_enq);
-    counter(&mut out, "wfq_help_enq_commit_total", "help_enq calls that committed a peer's value", s.help_enq_commit);
-    counter(&mut out, "wfq_help_enq_seal_total", "Cells sealed unusable by help_enq", s.help_enq_seal);
-    counter(&mut out, "wfq_help_deq_total", "Calls helping a peer's dequeue request", s.help_deq);
-    counter(&mut out, "wfq_help_deq_announce_total", "Candidate cells announced by help_deq", s.help_deq_announce);
-    counter(&mut out, "wfq_help_deq_complete_total", "Dequeue requests completed by help_deq", s.help_deq_complete);
-    counter(&mut out, "wfq_cleanups_total", "Reclamation passes executed", s.cleanups);
-    counter(&mut out, "wfq_reclaim_noop_total", "Reclamation passes that found nothing", s.reclaim_noop);
-    counter(&mut out, "wfq_reclaim_conceded_total", "Reclamation boundary concessions", s.reclaim_conceded);
-    counter(&mut out, "wfq_reclaim_backward_clamp_total", "Backward-pass hazard clamps", s.reclaim_backward_clamp);
-    counter(&mut out, "wfq_segs_alloc_total", "Segments allocated and published", s.segs_alloc);
-    counter(&mut out, "wfq_segs_freed_total", "Segments reclaimed", s.segs_freed);
-    counter(&mut out, "wfq_segs_recycled_total", "Segments recycled into the bounded-mode pool", s.segs_recycled);
-    counter(&mut out, "wfq_enq_rejected_total", "Enqueues rejected at the segment ceiling", s.enq_rejected);
-    counter(&mut out, "wfq_forced_cleanups_total", "Enqueuer-elected (forced) reclamation passes", s.forced_cleanups);
-    counter(&mut out, "wfq_enq_batches_total", "Batch enqueue calls (one FAA each)", s.enq_batches);
-    counter(&mut out, "wfq_enq_batched_vals_total", "Values enqueued through batch calls", s.enq_batched_vals);
-    counter(&mut out, "wfq_enq_batch_stragglers_total", "Batch enqueue elements that fell to the slow path", s.enq_batch_stragglers);
-    counter(&mut out, "wfq_enq_batch_abandoned_total", "Pre-claimed cells abandoned after a batch straggler", s.enq_batch_abandoned);
-    counter(&mut out, "wfq_deq_batches_total", "Batch dequeue calls (including empty fast-outs)", s.deq_batches);
-    counter(&mut out, "wfq_deq_batched_vals_total", "Values dequeued through batch calls", s.deq_batched_vals);
-    counter(&mut out, "wfq_deq_batch_partial_total", "Batch dequeue claims trimmed below the requested width", s.deq_batch_partial);
-    counter(&mut out, "wfq_deq_batch_stragglers_total", "Batch dequeue cells that fell to the slow path", s.deq_batch_stragglers);
+    // Counters come from the canonical enumeration in the core crate:
+    // parity with `QueueStats` is by construction, not by keeping two
+    // hand-written lists in sync.
+    s.for_each_counter(|field, value| {
+        counter(
+            &mut out,
+            &format!("wfq_{field}_total"),
+            counter_help(field),
+            value,
+        );
+    });
     if s.enq_batches > 0 {
         gauge(
             &mut out,
@@ -229,6 +252,95 @@ mod tests {
         assert!(out.contains("wfq_enq_batch_avg_width 8\n"));
         assert!(out.contains("wfq_deq_batch_avg_width 2.5\n"));
         assert!(out.contains("# TYPE wfq_enq_batch_avg_width gauge"));
+    }
+
+    #[test]
+    fn every_counter_appears_in_both_display_and_exposition() {
+        // Satellite guard for stats/exposition drift: fill every counter
+        // with a unique sentinel and require each to surface in both the
+        // Prometheus exposition and `Display for QueueStats`. The batch
+        // `*_batched_vals` masses surface in Display as computed mean
+        // widths, so those two are asserted through the width strings.
+        let mut s = QueueStats::default();
+        let mut fields: Vec<&'static str> = Vec::new();
+        s.for_each_counter(|name, _| fields.push(name));
+        // Unique 4-digit sentinels, assigned in enumeration order via a
+        // second pass over a by-name setter (fields are pub).
+        let set = |s: &mut QueueStats, name: &str, v: u64| match name {
+            "enq_fast" => s.enq_fast = v,
+            "enq_slow" => s.enq_slow = v,
+            "deq_fast" => s.deq_fast = v,
+            "deq_slow" => s.deq_slow = v,
+            "deq_empty" => s.deq_empty = v,
+            "help_enq" => s.help_enq = v,
+            "help_deq" => s.help_deq = v,
+            "cleanups" => s.cleanups = v,
+            "segs_alloc" => s.segs_alloc = v,
+            "segs_freed" => s.segs_freed = v,
+            "enq_slow_helped" => s.enq_slow_helped = v,
+            "help_enq_commit" => s.help_enq_commit = v,
+            "help_enq_seal" => s.help_enq_seal = v,
+            "deq_slow_empty" => s.deq_slow_empty = v,
+            "help_deq_announce" => s.help_deq_announce = v,
+            "help_deq_complete" => s.help_deq_complete = v,
+            "reclaim_conceded" => s.reclaim_conceded = v,
+            "reclaim_backward_clamp" => s.reclaim_backward_clamp = v,
+            "reclaim_noop" => s.reclaim_noop = v,
+            "enq_rejected" => s.enq_rejected = v,
+            "forced_cleanups" => s.forced_cleanups = v,
+            "segs_recycled" => s.segs_recycled = v,
+            "enq_batches" => s.enq_batches = v,
+            "enq_batched_vals" => s.enq_batched_vals = v,
+            "enq_batch_stragglers" => s.enq_batch_stragglers = v,
+            "enq_batch_abandoned" => s.enq_batch_abandoned = v,
+            "deq_batches" => s.deq_batches = v,
+            "deq_batched_vals" => s.deq_batched_vals = v,
+            "deq_batch_partial" => s.deq_batch_partial = v,
+            "deq_batch_stragglers" => s.deq_batch_stragglers = v,
+            other => panic!("for_each_counter emitted unknown field {other}"),
+        };
+        for (i, name) in fields.iter().enumerate() {
+            set(&mut s, name, 5001 + i as u64);
+        }
+
+        let exposition = render_prometheus(&s, None);
+        let display = s.to_string();
+        s.for_each_counter(|name, value| {
+            let line = format!("wfq_{name}_total {value}\n");
+            assert!(
+                exposition.contains(&line),
+                "counter {name} missing from exposition: wanted {line:?}"
+            );
+            if name == "enq_batched_vals" || name == "deq_batched_vals" {
+                return; // asserted via the width strings below
+            }
+            assert!(
+                display.contains(&value.to_string()),
+                "counter {name}={value} missing from Display:\n{display}"
+            );
+        });
+        // The two width masses show up as `count×width` in Display and as
+        // avg-width gauges in the exposition.
+        let enq_width = format!("{}×{:.1}", s.enq_batches, s.avg_enq_batch_width());
+        let deq_width = format!("{}×{:.1}", s.deq_batches, s.avg_deq_batch_width());
+        assert!(display.contains(&enq_width), "{display}");
+        assert!(display.contains(&deq_width), "{display}");
+        assert!(exposition.contains("wfq_enq_batch_avg_width"));
+        assert!(exposition.contains("wfq_deq_batch_avg_width"));
+    }
+
+    #[test]
+    fn previously_missing_counters_are_now_exposed() {
+        // The PR-2 exposition hand-list silently lacked these two; the
+        // for_each_counter refactor closes the gap permanently.
+        let s = QueueStats {
+            enq_slow_helped: 7,
+            deq_slow_empty: 9,
+            ..Default::default()
+        };
+        let out = render_prometheus(&s, None);
+        assert!(out.contains("wfq_enq_slow_helped_total 7\n"), "{out}");
+        assert!(out.contains("wfq_deq_slow_empty_total 9\n"), "{out}");
     }
 
     #[test]

@@ -1,0 +1,360 @@
+//! Statistical benchmark-snapshot comparison — the engine of `wfq-regress`.
+//!
+//! Snapshots are the committed `results/BENCH_*.json` documents (the
+//! normalized schema of [`report::render_json_with_commit`]: optional
+//! `commit`, `benchmark`, `workload`, `series[]` of per-queue
+//! `(threads, mean_mops, ci_half)` points, where `ci_half` is the Student-t
+//! 95% half-width computed by `stats::confidence_interval_95` over
+//! benchmark invocations, per Georges et al. §5.1). Two snapshots are
+//! compared point-by-point on the `(queue, threads)` key:
+//!
+//! A point **regresses** when all three hold —
+//!
+//! 1. the candidate mean is *lower* than the baseline mean,
+//! 2. the relative drop exceeds the threshold (default 5%), and
+//! 3. the two 95% CIs do not overlap (`|Δmean| > ci_b + ci_c`),
+//!
+//! so a noisy run with wide CIs cannot fail the gate, and a statistically
+//! significant but sub-threshold wobble cannot either. Improvements are
+//! reported but never fail.
+
+use crate::json::{self, Value};
+use crate::report::{Series, SeriesPoint};
+
+/// A parsed benchmark snapshot.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Commit the snapshot measured (absent in pre-normalized snapshots).
+    pub commit: Option<String>,
+    /// Benchmark name (`figure2`, …).
+    pub benchmark: String,
+    /// Workload label (`pairwise`, `batch_pairs`, …).
+    pub workload: String,
+    /// One series per queue.
+    pub series: Vec<Series>,
+}
+
+/// Parses a snapshot JSON document (the `results/BENCH_*.json` schema).
+pub fn parse_snapshot(doc: &str) -> Result<Snapshot, String> {
+    let v = json::parse(doc)?;
+    let str_field = |v: &Value, k: &str| -> Result<String, String> {
+        v.get(k)
+            .and_then(|x| x.as_str().map(str::to_string))
+            .ok_or_else(|| format!("snapshot missing string field {k:?}"))
+    };
+    let num_field = |v: &Value, k: &str| -> Result<f64, String> {
+        v.get(k)
+            .and_then(|x| x.as_num())
+            .ok_or_else(|| format!("snapshot point missing number field {k:?}"))
+    };
+    let mut series = Vec::new();
+    for s in v
+        .get("series")
+        .and_then(|x| x.as_arr())
+        .ok_or("snapshot missing series array")?
+    {
+        let mut points = Vec::new();
+        for p in s
+            .get("points")
+            .and_then(|x| x.as_arr())
+            .ok_or("series missing points array")?
+        {
+            points.push(SeriesPoint {
+                threads: num_field(&p, "threads")? as usize,
+                mean_mops: num_field(&p, "mean_mops")?,
+                ci_half: num_field(&p, "ci_half")?,
+            });
+        }
+        series.push(Series {
+            name: str_field(&s, "queue")?,
+            points,
+        });
+    }
+    Ok(Snapshot {
+        commit: v.get("commit").and_then(|x| x.as_str().map(str::to_string)),
+        benchmark: str_field(&v, "benchmark")?,
+        workload: str_field(&v, "workload")?,
+        series,
+    })
+}
+
+/// One `(queue, threads)` comparison.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    /// Queue display name.
+    pub queue: String,
+    /// Concurrency level.
+    pub threads: usize,
+    /// Baseline `(mean_mops, ci_half)`.
+    pub base: (f64, f64),
+    /// Candidate `(mean_mops, ci_half)`.
+    pub cand: (f64, f64),
+    /// Relative mean change, percent (negative = slower).
+    pub pct_change: f64,
+    /// Whether the 95% CIs do not overlap.
+    pub significant: bool,
+    /// Significant slowdown past the threshold: fails the gate.
+    pub regressed: bool,
+    /// Significant speedup past the threshold: reported, never fails.
+    pub improved: bool,
+}
+
+/// The result of comparing a candidate snapshot against a baseline.
+#[derive(Debug)]
+pub struct Comparison {
+    /// Every matched `(queue, threads)` point.
+    pub deltas: Vec<Delta>,
+    /// `(queue, threads)` keys present in only one snapshot.
+    pub unmatched: Vec<String>,
+}
+
+impl Comparison {
+    /// The deltas that fail the gate.
+    pub fn regressions(&self) -> Vec<&Delta> {
+        self.deltas.iter().filter(|d| d.regressed).collect()
+    }
+
+    /// Human-readable comparison table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<12} {:>7} {:>18} {:>18} {:>8}  verdict",
+            "queue", "threads", "baseline", "candidate", "delta"
+        );
+        for d in &self.deltas {
+            let verdict = if d.regressed {
+                "REGRESSION"
+            } else if d.improved {
+                "improved"
+            } else if d.significant {
+                "within threshold"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                out,
+                "{:<12} {:>7} {:>11.3} ±{:<5.3} {:>11.3} ±{:<5.3} {:>+7.1}%  {}",
+                d.queue,
+                d.threads,
+                d.base.0,
+                d.base.1,
+                d.cand.0,
+                d.cand.1,
+                d.pct_change,
+                verdict
+            );
+        }
+        for u in &self.unmatched {
+            let _ = writeln!(out, "unmatched: {u}");
+        }
+        out
+    }
+}
+
+/// Compares candidate against baseline. `threshold_pct` is the minimum
+/// relative mean drop (percent) a significant slowdown must exceed to
+/// count as a regression (the gate's default is 5).
+pub fn compare(base: &Snapshot, cand: &Snapshot, threshold_pct: f64) -> Comparison {
+    let mut deltas = Vec::new();
+    let mut unmatched = Vec::new();
+    for bs in &base.series {
+        let Some(cs) = cand.series.iter().find(|s| s.name == bs.name) else {
+            unmatched.push(format!("{} (baseline only)", bs.name));
+            continue;
+        };
+        for bp in &bs.points {
+            let Some(cp) = cs.points.iter().find(|p| p.threads == bp.threads) else {
+                unmatched.push(format!("{} @{} (baseline only)", bs.name, bp.threads));
+                continue;
+            };
+            let diff = cp.mean_mops - bp.mean_mops;
+            let pct_change = if bp.mean_mops == 0.0 {
+                0.0
+            } else {
+                100.0 * diff / bp.mean_mops
+            };
+            let significant = diff.abs() > bp.ci_half + cp.ci_half;
+            deltas.push(Delta {
+                queue: bs.name.clone(),
+                threads: bp.threads,
+                base: (bp.mean_mops, bp.ci_half),
+                cand: (cp.mean_mops, cp.ci_half),
+                pct_change,
+                significant,
+                regressed: significant && pct_change < -threshold_pct,
+                improved: significant && pct_change > threshold_pct,
+            });
+        }
+    }
+    for cs in &cand.series {
+        if !base.series.iter().any(|s| s.name == cs.name) {
+            unmatched.push(format!("{} (candidate only)", cs.name));
+        }
+    }
+    Comparison { deltas, unmatched }
+}
+
+/// Renders one snapshot as a single normalized JSON line for the
+/// append-only trajectory file (`results/trajectory.jsonl`): same fields
+/// as the snapshot schema, compacted so each `--record` appends one line
+/// per benchmark run and the perf history stays `git diff`-able.
+pub fn trajectory_line(snap: &Snapshot) -> String {
+    let mut out = String::from("{");
+    if let Some(c) = &snap.commit {
+        out.push_str(&format!(
+            "\"commit\": \"{}\", ",
+            c.replace('\\', "\\\\").replace('"', "\\\"")
+        ));
+    }
+    out.push_str(&format!(
+        "\"benchmark\": \"{}\", \"workload\": \"{}\", \"series\": [",
+        snap.benchmark, snap.workload
+    ));
+    for (si, s) in snap.series.iter().enumerate() {
+        if si > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"queue\": \"{}\", \"points\": [",
+            s.name.replace('\\', "\\\\").replace('"', "\\\"")
+        ));
+        for (pi, p) in s.points.iter().enumerate() {
+            if pi > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"threads\": {}, \"mean_mops\": {:.6}, \"ci_half\": {:.6}}}",
+                p.threads, p.mean_mops, p.ci_half
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::render_json_with_commit;
+
+    fn snap(scale: f64, ci: f64) -> Snapshot {
+        Snapshot {
+            commit: Some("deadbee".into()),
+            benchmark: "figure2".into(),
+            workload: "pairwise".into(),
+            series: vec![Series {
+                name: "WF-10".into(),
+                points: vec![
+                    SeriesPoint { threads: 1, mean_mops: 10.0 * scale, ci_half: ci },
+                    SeriesPoint { threads: 2, mean_mops: 8.0 * scale, ci_half: ci },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn self_comparison_of_identical_runs_passes() {
+        let a = snap(1.0, 0.2);
+        let cmp = compare(&a, &a, 5.0);
+        assert!(cmp.regressions().is_empty());
+        assert!(cmp.deltas.iter().all(|d| !d.significant));
+        assert!(cmp.unmatched.is_empty());
+    }
+
+    #[test]
+    fn a_twenty_percent_slowdown_with_tight_cis_regresses() {
+        // The acceptance criterion: a synthetic ≥20% slowdown must fail.
+        let base = snap(1.0, 0.1);
+        let cand = snap(0.8, 0.1);
+        let cmp = compare(&base, &cand, 5.0);
+        assert_eq!(cmp.regressions().len(), 2, "{}", cmp.render());
+        assert!(cmp.render().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn wide_cis_mask_even_large_deltas() {
+        // CIs overlap (10−8=2 < 1.5+1.5): not statistically significant,
+        // so the gate must not fire on noise.
+        let base = snap(1.0, 1.5);
+        let cand = snap(0.8, 1.5);
+        let cmp = compare(&base, &cand, 5.0);
+        assert!(cmp.regressions().is_empty(), "{}", cmp.render());
+    }
+
+    #[test]
+    fn a_significant_but_sub_threshold_drop_passes() {
+        let base = snap(1.0, 0.01);
+        let cand = snap(0.97, 0.01); // −3%, tight CIs
+        let cmp = compare(&base, &cand, 5.0);
+        assert!(cmp.regressions().is_empty());
+        assert!(cmp.deltas.iter().all(|d| d.significant));
+        assert!(cmp.render().contains("within threshold"));
+    }
+
+    #[test]
+    fn improvements_are_reported_but_never_fail() {
+        let base = snap(1.0, 0.05);
+        let cand = snap(1.5, 0.05);
+        let cmp = compare(&base, &cand, 5.0);
+        assert!(cmp.regressions().is_empty());
+        assert!(cmp.deltas.iter().all(|d| d.improved));
+        assert!(cmp.render().contains("improved"));
+    }
+
+    #[test]
+    fn snapshots_roundtrip_through_render_and_parse() {
+        let s = snap(1.0, 0.2);
+        let doc = render_json_with_commit(
+            &s.benchmark,
+            &s.workload,
+            s.commit.as_deref(),
+            &s.series,
+        );
+        let back = parse_snapshot(&doc).unwrap();
+        assert_eq!(back.commit.as_deref(), Some("deadbee"));
+        assert_eq!(back.benchmark, "figure2");
+        assert_eq!(back.workload, "pairwise");
+        assert_eq!(back.series, s.series);
+    }
+
+    #[test]
+    fn legacy_snapshots_without_commit_still_parse() {
+        let doc = crate::report::render_json("figure2", "pairwise", &snap(1.0, 0.2).series);
+        let back = parse_snapshot(&doc).unwrap();
+        assert_eq!(back.commit, None);
+        assert_eq!(back.series.len(), 1);
+    }
+
+    #[test]
+    fn missing_points_surface_as_unmatched_not_panics() {
+        let base = snap(1.0, 0.2);
+        let mut cand = snap(1.0, 0.2);
+        cand.series[0].points.pop();
+        cand.series.push(Series { name: "EXTRA".into(), points: vec![] });
+        let cmp = compare(&base, &cand, 5.0);
+        assert_eq!(cmp.deltas.len(), 1);
+        assert_eq!(cmp.unmatched.len(), 2, "{:?}", cmp.unmatched);
+    }
+
+    #[test]
+    fn trajectory_line_is_one_line_of_valid_json() {
+        let line = trajectory_line(&snap(1.0, 0.2));
+        assert_eq!(line.lines().count(), 1);
+        let v = crate::json::parse(&line).unwrap();
+        assert_eq!(v.get("commit").unwrap().as_str(), Some("deadbee"));
+        let series = v.get("series").unwrap().as_arr().unwrap();
+        assert_eq!(series[0].get("queue").unwrap().as_str(), Some("WF-10"));
+    }
+
+    #[test]
+    fn malformed_snapshots_return_errors() {
+        assert!(parse_snapshot("not json").is_err());
+        assert!(parse_snapshot("{\"benchmark\": \"x\"}").is_err());
+        assert!(
+            parse_snapshot("{\"benchmark\": \"x\", \"workload\": \"y\", \"series\": 3}").is_err()
+        );
+    }
+}

@@ -65,9 +65,30 @@ pub fn render_markdown(series: &[Series], caption: &str) -> String {
 /// Hand-rolled (no serde in the build environment); the numbers are plain
 /// `{:.6}` decimals, so the output is also stable for diffing snapshots.
 pub fn render_json(benchmark: &str, workload: &str, series: &[Series]) -> String {
+    render_json_with_commit(benchmark, workload, None, series)
+}
+
+/// [`render_json`] plus the optional `"commit"` field of the normalized
+/// snapshot schema (see EXPERIMENTS.md): snapshots committed to `results/`
+/// name the commit they measured, so `wfq-regress` comparisons and the
+/// recorded trajectory stay attributable.
+pub fn render_json_with_commit(
+    benchmark: &str,
+    workload: &str,
+    commit: Option<&str>,
+    series: &[Series],
+) -> String {
     let mut out = String::new();
+    out.push('{');
+    out.push('\n');
+    if let Some(c) = commit {
+        out.push_str(&format!(
+            "  \"commit\": \"{}\",\n",
+            c.replace('\\', "\\\\").replace('"', "\\\"")
+        ));
+    }
     out.push_str(&format!(
-        "{{\n  \"benchmark\": \"{benchmark}\",\n  \"workload\": \"{workload}\",\n  \"series\": [\n"
+        "  \"benchmark\": \"{benchmark}\",\n  \"workload\": \"{workload}\",\n  \"series\": [\n"
     ));
     for (si, s) in series.iter().enumerate() {
         out.push_str(&format!(
@@ -164,6 +185,18 @@ mod tests {
         assert_eq!(pts.len(), 2);
         assert_eq!(pts[1].get("threads").unwrap().as_num(), Some(2.0));
         assert_eq!(pts[1].get("mean_mops").unwrap().as_num(), Some(12.0));
+    }
+
+    #[test]
+    fn json_with_commit_carries_the_field_and_still_parses() {
+        let doc = render_json_with_commit("figure2", "pairwise", Some("abc1234"), &sample());
+        let v = crate::json::parse(&doc).unwrap();
+        assert_eq!(v.get("commit").unwrap().as_str(), Some("abc1234"));
+        assert_eq!(v.get("benchmark").unwrap().as_str(), Some("figure2"));
+        // Without a commit the field is absent, keeping old snapshots and
+        // new ones in one schema.
+        let v = crate::json::parse(&render_json("figure2", "pairwise", &sample())).unwrap();
+        assert!(v.get("commit").is_none());
     }
 
     #[test]

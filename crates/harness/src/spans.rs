@@ -1,0 +1,535 @@
+//! Offline help-chain reconstruction over drained flight-recorder traces.
+//!
+//! The paper's wait-freedom argument lives in the helping protocol
+//! (Listings 2–4): a slow-path request is published into the help ring and
+//! *anyone* — the requester, a round-robin helper, a dequeuer scanning
+//! candidates — may move it forward. The flight recorder (PR 2) captures
+//! those steps as per-thread point events; this module stitches the
+//! per-thread rings back into **causal episodes** using the op id every
+//! slow-path event now carries (the request's publish id — the requester's
+//! first failed FAA cell index, unique per side because FAA indices are
+//! never reused).
+//!
+//! One episode = one slow-path span (`EnqSlowEnter..EnqSlowExit` or
+//! `DeqSlowEnter..DeqSlowExit`) plus every help event any recorder emitted
+//! for the same `(side, op)` — the help-chain tree "requester →
+//! helper(s) → completer". On top of the trees the report aggregates the
+//! numbers the paper's §5.2 discussion reasons about qualitatively:
+//!
+//! - **help-ring residency**: how long each request stayed published
+//!   (the span duration), as a log-bucketed [`Histogram`] with percentiles;
+//! - **helper latency**: how long after publication each *cross-thread*
+//!   hop landed;
+//! - **max chain depth**: requester counts 1; a hop from another thread
+//!   that was itself inside a slow-path span at that moment extends the
+//!   chain through that thread's own episode (cycle-guarded recursion).
+//!
+//! Reconstruction invariants (asserted by the integration tests, tolerated
+//! degradations in parentheses): spans on one recorder pair enter→exit
+//! with equal op ids and nonnegative duration (an enter lost to ring wrap
+//! leaves an orphan exit and vice versa — counted, not fatal); a hop's op
+//! id matches its episode's; hops never precede the span open by more than
+//! the clock skew of the shared anchor (cross-thread help *can* land after
+//! the requester's exit — the exit CAS and the helper's record are not one
+//! atomic step — so the episode window is `[start, end + slack]`).
+
+use wfq_obs::{EventKind, HandleTrace};
+
+use crate::histogram::Histogram;
+
+/// Which FAA index space an op id lives in. Enqueue and dequeue requests
+/// draw their publish ids from the independent `T` and `H` counters, so an
+/// op id alone is ambiguous; every event kind implies its side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Side {
+    /// Enqueue-side episode (op ids are `T` FAA indices).
+    Enq,
+    /// Dequeue-side episode (op ids are `H` FAA indices).
+    Deq,
+}
+
+/// One slow-path episode: a matched enter/exit pair on one recorder.
+#[derive(Debug, Clone)]
+pub struct SlowSpan {
+    /// Recorder (thread) that ran the slow path.
+    pub recorder: u64,
+    /// Which side the episode is on.
+    pub side: Side,
+    /// The request's publish id.
+    pub op: u64,
+    /// Span open (enter event timestamp), ns.
+    pub start_ns: u64,
+    /// Span close (exit event timestamp), ns.
+    pub end_ns: u64,
+    /// The cell the request was finally claimed for / announced at.
+    pub final_cell: u64,
+}
+
+impl SlowSpan {
+    /// Help-ring residency of this request.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// One help event another (or the same) recorder contributed to an episode.
+#[derive(Debug, Clone)]
+pub struct HelpHop {
+    /// Recorder that emitted the help event.
+    pub helper: u64,
+    /// What the helper did (`HelpEnqCommit`, `HelpDeqAnnounce`, …).
+    pub kind: EventKind,
+    /// When, ns.
+    pub ts_ns: u64,
+    /// The help event's protocol argument (usually a cell index).
+    pub arg: u64,
+}
+
+/// A reconstructed help-chain tree rooted at one slow-path episode.
+#[derive(Debug, Clone)]
+pub struct HelpChain {
+    /// The requester's episode.
+    pub span: SlowSpan,
+    /// Every matching help event, requester's own included, time-ordered.
+    pub hops: Vec<HelpHop>,
+    /// Distinct recorders other than the requester that contributed a hop.
+    pub helpers: Vec<u64>,
+    /// Chain depth: 1 for an unhelped episode, 2 when another thread
+    /// contributed, deeper when that helper was itself inside a slow-path
+    /// episode at the moment it helped.
+    pub depth: usize,
+}
+
+impl HelpChain {
+    /// Whether more than one thread participated in this episode.
+    pub fn is_multi_hop(&self) -> bool {
+        !self.helpers.is_empty()
+    }
+}
+
+/// The reconstruction result over one set of drained traces.
+#[derive(Debug)]
+pub struct SpanReport {
+    /// Every matched episode, time-ordered by span open.
+    pub chains: Vec<HelpChain>,
+    /// Span enters whose exit was never seen (ring wrap, thread died
+    /// mid-operation, or the drain raced the operation).
+    pub unmatched_enters: usize,
+    /// Span exits whose enter was never seen (ring wrap).
+    pub unmatched_exits: usize,
+    /// Help-ring residency (span durations), ns.
+    pub residency: Histogram,
+    /// Publication → cross-thread hop latency, ns (one sample per hop from
+    /// a recorder other than the requester).
+    pub helper_latency: Histogram,
+    /// Deepest reconstructed chain (0 when there are no episodes).
+    pub max_chain_depth: usize,
+}
+
+/// Cross-thread help can land slightly after the requester's exit event:
+/// the completing CAS and the helper's `record!` are separate steps. Hops
+/// within this slack past the span close still belong to the episode.
+const EPISODE_SLACK_NS: u64 = 1_000_000;
+
+fn side_of_slow_enter(kind: EventKind) -> Option<Side> {
+    match kind {
+        EventKind::EnqSlowEnter => Some(Side::Enq),
+        EventKind::DeqSlowEnter => Some(Side::Deq),
+        _ => None,
+    }
+}
+
+/// The episode side a *help* event contributes to, if any.
+fn side_of_help(kind: EventKind) -> Option<Side> {
+    match kind {
+        EventKind::HelpEnqCommit => Some(Side::Enq),
+        EventKind::HelpDeqEnter
+        | EventKind::HelpDeqExit
+        | EventKind::HelpDeqAnnounce
+        | EventKind::HelpDeqComplete
+        | EventKind::HazardAdopt => Some(Side::Deq),
+        _ => None,
+    }
+}
+
+/// Stitches drained traces into help-chain trees. Tolerates ring wrap
+/// (unmatched spans are counted, not fatal), op-0 help events (a helper
+/// whose claim CAS lost can no longer name the publish id), and traces
+/// from unrelated traffic (episodes are keyed by `(side, op)`, and FAA
+/// indices are never reused within one queue's lifetime).
+pub fn reconstruct(traces: &[HandleTrace]) -> SpanReport {
+    // Pass 1: pair slow-path spans per recorder (a stack, because the
+    // nested HelpDeq span kinds are also enter/exit pairs but only the two
+    // operation-level kinds root episodes), and collect help events.
+    let mut spans: Vec<SlowSpan> = Vec::new();
+    let mut hops: Vec<(Side, u64, HelpHop)> = Vec::new();
+    let mut unmatched_enters = 0usize;
+    let mut unmatched_exits = 0usize;
+
+    for t in traces {
+        // Open operation-level spans on this recorder (ops run one at a
+        // time per handle, but keep a stack for wrap-damaged traces).
+        let mut open: Vec<(Side, u64, u64)> = Vec::new(); // (side, op, start)
+        for e in &t.events {
+            if let Some(side) = side_of_slow_enter(e.kind) {
+                open.push((side, e.op, e.ts_ns));
+            } else if e.kind.is_progress_exit() {
+                let want = match e.kind {
+                    EventKind::EnqSlowExit => Side::Enq,
+                    _ => Side::Deq,
+                };
+                match open.iter().rposition(|&(s, op, _)| s == want && op == e.op) {
+                    Some(pos) => {
+                        unmatched_enters += open.len() - pos - 1;
+                        open.truncate(pos + 1);
+                        let (side, op, start) = open.pop().unwrap();
+                        spans.push(SlowSpan {
+                            recorder: t.id,
+                            side,
+                            op,
+                            start_ns: start,
+                            // Pairing is by stream order (the ring is the
+                            // truth), but raw TSC readings can step back a
+                            // hair across vCPU migration; clamp so spans
+                            // always have a nonnegative extent.
+                            end_ns: e.ts_ns.max(start),
+                            final_cell: e.arg,
+                        });
+                    }
+                    None => unmatched_exits += 1,
+                }
+            }
+            if let Some(side) = side_of_help(e.kind) {
+                if e.op != 0 {
+                    hops.push((
+                        side,
+                        e.op,
+                        HelpHop {
+                            helper: t.id,
+                            kind: e.kind,
+                            ts_ns: e.ts_ns,
+                            arg: e.arg,
+                        },
+                    ));
+                }
+            }
+        }
+        unmatched_enters += open.len();
+    }
+
+    spans.sort_by_key(|s| s.start_ns);
+    hops.sort_by_key(|&(_, _, ref h)| h.ts_ns);
+
+    // Pass 2: attach hops to episodes by (side, op) within the episode
+    // window, and build the chains.
+    let mut report = SpanReport {
+        chains: Vec::with_capacity(spans.len()),
+        unmatched_enters,
+        unmatched_exits,
+        residency: Histogram::new(),
+        helper_latency: Histogram::new(),
+        max_chain_depth: 0,
+    };
+    for span in &spans {
+        let window_end = span.end_ns + EPISODE_SLACK_NS;
+        let mut chain_hops = Vec::new();
+        let mut helpers = Vec::new();
+        for (side, op, h) in &hops {
+            if *side != span.side || *op != span.op {
+                continue;
+            }
+            if h.ts_ns > window_end {
+                continue;
+            }
+            if h.helper != span.recorder && !helpers.contains(&h.helper) {
+                helpers.push(h.helper);
+            }
+            if h.helper != span.recorder {
+                report
+                    .helper_latency
+                    .record(h.ts_ns.saturating_sub(span.start_ns));
+            }
+            chain_hops.push(h.clone());
+        }
+        report.residency.record(span.duration_ns());
+        report.chains.push(HelpChain {
+            span: span.clone(),
+            hops: chain_hops,
+            helpers,
+            depth: 0, // filled below, needs the full span set
+        });
+    }
+
+    // Pass 3: chain depth. A hop from thread B extends the chain by one;
+    // if B was inside its *own* slow-path episode at that instant, the
+    // chain continues through B's episode (B was blocked on its own
+    // request while moving ours — the transitive helping the Kogan–
+    // Petrank scheme is built on). Memoized per episode, cycle-guarded.
+    let depths: Vec<usize> = (0..spans.len())
+        .map(|i| {
+            let mut visiting = Vec::new();
+            depth_of(i, &spans, &report.chains, &mut visiting)
+        })
+        .collect();
+    for (chain, d) in report.chains.iter_mut().zip(&depths) {
+        chain.depth = *d;
+    }
+    report.max_chain_depth = depths.iter().copied().max().unwrap_or(0);
+    report
+}
+
+fn depth_of(
+    idx: usize,
+    spans: &[SlowSpan],
+    chains: &[HelpChain],
+    visiting: &mut Vec<usize>,
+) -> usize {
+    if visiting.contains(&idx) {
+        return 1; // cycle guard: count the node, stop the walk
+    }
+    visiting.push(idx);
+    let me = &spans[idx];
+    let mut best_tail = 0usize;
+    for h in &chains[idx].hops {
+        if h.helper == me.recorder {
+            continue;
+        }
+        // Was the helper inside one of its own episodes when it helped?
+        let tail = spans
+            .iter()
+            .enumerate()
+            .find(|(_, s)| {
+                s.recorder == h.helper && s.start_ns <= h.ts_ns && h.ts_ns <= s.end_ns
+            })
+            .map(|(j, _)| depth_of(j, spans, chains, visiting))
+            .unwrap_or(1);
+        best_tail = best_tail.max(tail);
+    }
+    visiting.pop();
+    1 + best_tail
+}
+
+impl SpanReport {
+    /// Episodes where more than one thread participated.
+    pub fn multi_hop_chains(&self) -> usize {
+        self.chains.iter().filter(|c| c.is_multi_hop()).count()
+    }
+
+    /// Human-readable summary: counts, residency percentiles, helper
+    /// latency, and the deepest chain.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "episodes {} (multi-hop {}, unmatched enter/exit {}/{})",
+            self.chains.len(),
+            self.multi_hop_chains(),
+            self.unmatched_enters,
+            self.unmatched_exits,
+        );
+        let _ = writeln!(out, "help-ring residency: {}", self.residency.summary());
+        let _ = writeln!(out, "helper latency:      {}", self.helper_latency.summary());
+        let _ = write!(out, "max chain depth:     {}", self.max_chain_depth);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfq_obs::Event;
+
+    fn ev(ts_ns: u64, kind: EventKind, arg: u64, op: u64) -> Event {
+        Event { ts_ns, kind, arg, op }
+    }
+
+    fn trace(id: u64, events: Vec<Event>) -> HandleTrace {
+        HandleTrace {
+            id,
+            thread: format!("t{id}"),
+            events,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn an_unhelped_episode_is_a_depth_one_chain() {
+        let report = reconstruct(&[trace(
+            0,
+            vec![
+                ev(100, EventKind::EnqSlowEnter, 7, 7),
+                ev(900, EventKind::EnqSlowExit, 12, 7),
+            ],
+        )]);
+        assert_eq!(report.chains.len(), 1);
+        let c = &report.chains[0];
+        assert_eq!((c.span.side, c.span.op), (Side::Enq, 7));
+        assert_eq!(c.span.duration_ns(), 800);
+        assert!(!c.is_multi_hop());
+        assert_eq!(c.depth, 1);
+        assert_eq!(report.max_chain_depth, 1);
+        assert_eq!(report.residency.count(), 1);
+        assert_eq!(report.helper_latency.count(), 0);
+        assert_eq!(report.unmatched_enters + report.unmatched_exits, 0);
+    }
+
+    #[test]
+    fn a_cross_thread_commit_makes_a_multi_hop_chain() {
+        // Thread 0 publishes enq request 7; thread 1's help_enq commits it.
+        let report = reconstruct(&[
+            trace(
+                0,
+                vec![
+                    ev(100, EventKind::EnqSlowEnter, 7, 7),
+                    ev(900, EventKind::EnqSlowExit, 12, 7),
+                ],
+            ),
+            trace(1, vec![ev(400, EventKind::HelpEnqCommit, 12, 7)]),
+        ]);
+        assert_eq!(report.chains.len(), 1);
+        let c = &report.chains[0];
+        assert!(c.is_multi_hop());
+        assert_eq!(c.helpers, vec![1]);
+        assert_eq!(c.depth, 2);
+        assert_eq!(report.multi_hop_chains(), 1);
+        // Helper latency = hop ts − span open.
+        assert_eq!(report.helper_latency.count(), 1);
+        assert!(report.helper_latency.quantile(0.5) >= 300);
+    }
+
+    #[test]
+    fn same_op_id_on_opposite_sides_does_not_cross_match() {
+        // Enq op 5 and deq op 5 are different requests (separate FAA
+        // spaces): the deq-side help event must not join the enq episode.
+        let report = reconstruct(&[
+            trace(
+                0,
+                vec![
+                    ev(100, EventKind::EnqSlowEnter, 5, 5),
+                    ev(900, EventKind::EnqSlowExit, 8, 5),
+                ],
+            ),
+            trace(1, vec![ev(400, EventKind::HelpDeqAnnounce, 6, 5)]),
+        ]);
+        assert_eq!(report.chains.len(), 1);
+        assert!(!report.chains[0].is_multi_hop());
+    }
+
+    #[test]
+    fn chains_extend_through_a_helper_inside_its_own_episode() {
+        // A's enq request is committed by B while B sits in its own deq
+        // slow path, which in turn is completed by C: depth 3.
+        let report = reconstruct(&[
+            trace(
+                0,
+                vec![
+                    ev(100, EventKind::EnqSlowEnter, 7, 7),
+                    ev(900, EventKind::EnqSlowExit, 12, 7),
+                ],
+            ),
+            trace(
+                1,
+                vec![
+                    ev(200, EventKind::DeqSlowEnter, 40, 40),
+                    ev(300, EventKind::HelpEnqCommit, 12, 7),
+                    ev(800, EventKind::DeqSlowExit, 44, 40),
+                ],
+            ),
+            trace(2, vec![ev(500, EventKind::HelpDeqComplete, 44, 40)]),
+        ]);
+        assert_eq!(report.chains.len(), 2);
+        let a = report
+            .chains
+            .iter()
+            .find(|c| c.span.side == Side::Enq)
+            .unwrap();
+        assert_eq!(a.depth, 3, "A → B (in its own episode) → C");
+        assert_eq!(report.max_chain_depth, 3);
+    }
+
+    #[test]
+    fn self_help_hops_do_not_count_as_helpers() {
+        // deq_slow self-helps: the requester's own HelpDeq span events
+        // match the episode but are not cross-thread hops.
+        let report = reconstruct(&[trace(
+            0,
+            vec![
+                ev(100, EventKind::DeqSlowEnter, 9, 9),
+                ev(150, EventKind::HelpDeqEnter, 9, 9),
+                ev(300, EventKind::HelpDeqAnnounce, 11, 9),
+                ev(400, EventKind::HelpDeqComplete, 11, 9),
+                ev(450, EventKind::HelpDeqExit, 11, 9),
+                ev(500, EventKind::DeqSlowExit, 11, 9),
+            ],
+        )]);
+        assert_eq!(report.chains.len(), 1);
+        let c = &report.chains[0];
+        assert!(!c.is_multi_hop());
+        assert_eq!(c.depth, 1);
+        assert_eq!(c.hops.len(), 4, "own hops still belong to the tree");
+        assert_eq!(report.helper_latency.count(), 0);
+    }
+
+    #[test]
+    fn late_completion_within_slack_still_joins_the_episode() {
+        // The helper's record! can land after the requester's exit.
+        let report = reconstruct(&[
+            trace(
+                0,
+                vec![
+                    ev(100, EventKind::DeqSlowEnter, 9, 9),
+                    ev(500, EventKind::DeqSlowExit, 11, 9),
+                ],
+            ),
+            trace(1, vec![ev(600, EventKind::HelpDeqComplete, 11, 9)]),
+        ]);
+        assert!(report.chains[0].is_multi_hop());
+        // …but an event far outside the window does not.
+        let report = reconstruct(&[
+            trace(
+                0,
+                vec![
+                    ev(100, EventKind::DeqSlowEnter, 9, 9),
+                    ev(500, EventKind::DeqSlowExit, 11, 9),
+                ],
+            ),
+            trace(
+                1,
+                vec![ev(500 + EPISODE_SLACK_NS + 1, EventKind::HelpDeqComplete, 11, 9)],
+            ),
+        ]);
+        assert!(!report.chains[0].is_multi_hop());
+    }
+
+    #[test]
+    fn wrap_damaged_traces_degrade_to_unmatched_counts() {
+        let report = reconstruct(&[trace(
+            0,
+            vec![
+                ev(100, EventKind::EnqSlowExit, 3, 3), // enter lost to wrap
+                ev(200, EventKind::DeqSlowEnter, 9, 9), // exit never recorded
+            ],
+        )]);
+        assert_eq!(report.chains.len(), 0);
+        assert_eq!(report.unmatched_exits, 1);
+        assert_eq!(report.unmatched_enters, 1);
+    }
+
+    #[test]
+    fn render_mentions_the_headline_numbers() {
+        let report = reconstruct(&[
+            trace(
+                0,
+                vec![
+                    ev(100, EventKind::EnqSlowEnter, 7, 7),
+                    ev(900, EventKind::EnqSlowExit, 12, 7),
+                ],
+            ),
+            trace(1, vec![ev(400, EventKind::HelpEnqCommit, 12, 7)]),
+        ]);
+        let out = report.render();
+        assert!(out.contains("episodes 1 (multi-hop 1"), "{out}");
+        assert!(out.contains("max chain depth:     2"), "{out}");
+    }
+}

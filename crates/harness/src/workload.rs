@@ -82,6 +82,12 @@ pub struct BenchConfig {
     /// Bounded-memory mode: cap the queue at this many live segments
     /// (honored only by queues with [`BenchQueue::HONORS_CEILING`]).
     pub segment_ceiling: Option<u64>,
+    /// Synthetic per-operation slowdown in nanoseconds, spun *inside* the
+    /// measured window — unlike `delay_ns` it is **not** work-excluded, so
+    /// it lands in the reported throughput. Exists so `wfq-regress` can be
+    /// integration-tested against a guaranteed regression (CI injects a few
+    /// hundred ns here and asserts the gate trips).
+    pub handicap_ns: u64,
 }
 
 impl Default for BenchConfig {
@@ -98,6 +104,7 @@ impl Default for BenchConfig {
             pin: true,
             seed: 0xC0FFEE,
             segment_ceiling: None,
+            handicap_ns: 0,
         }
     }
 }
@@ -154,8 +161,14 @@ pub fn run_iteration<Q: BenchQueue>(q: &Q, cfg: &BenchConfig, delay: &SpinDelay,
                     let tag = ((t as u64 + 1) << 40) | 1;
                     let mut counter = 0u64;
                     let (dlo, dhi) = cfg.delay_ns;
+                    let handicap = cfg.handicap_ns;
                     let mut delay_ns_total = 0u64;
                     let spin = |rng: &mut XorShift64, total: &mut u64| {
+                        if handicap > 0 {
+                            // Deliberately not added to `total`: the
+                            // handicap must survive work exclusion.
+                            delay.wait_ns(handicap);
+                        }
                         if dhi > 0 {
                             let ns = rng.next_in(dlo, dhi);
                             *total += ns;
@@ -311,6 +324,25 @@ mod tests {
         let q2 = <MutexQueue as BenchQueue>::new();
         let mops = run_iteration(&q2, &tiny(Workload::BatchPairs(8), 2), &delay, 3);
         assert!(mops > 0.0, "fallback loop path must work too");
+    }
+
+    #[test]
+    fn handicap_is_not_work_excluded() {
+        // A large per-op handicap must show up in the reported throughput
+        // (this is what lets CI manufacture a certain regression), whereas
+        // the same magnitude of `delay_ns` would be excluded.
+        let delay = SpinDelay::calibrate();
+        let q = <MutexQueue as BenchQueue>::new();
+        let mut cfg = tiny(Workload::Pairs, 1);
+        cfg.total_ops = 4_000;
+        let clean = run_iteration(&q, &cfg, &delay, 4);
+        cfg.handicap_ns = 5_000;
+        let q2 = <MutexQueue as BenchQueue>::new();
+        let handicapped = run_iteration(&q2, &cfg, &delay, 4);
+        assert!(
+            handicapped < clean / 2.0,
+            "handicap must slow measured throughput: {handicapped} vs {clean}"
+        );
     }
 
     #[test]

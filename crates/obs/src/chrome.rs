@@ -40,18 +40,29 @@ fn ts_us(ts_ns: u64) -> String {
     format!("{}.{:03}", ts_ns / 1_000, ts_ns % 1_000)
 }
 
+/// `,"op":N` when the event belongs to a slow-path episode; Perfetto's
+/// args-search on the op value then finds every hop of one help chain.
+fn op_arg(op: u64) -> String {
+    if op == 0 {
+        String::new()
+    } else {
+        format!(",\"op\":{op}")
+    }
+}
+
 fn push_instant(out: &mut String, tid: u64, e: &Event, suffix: &str) {
     let _ = write!(
         out,
         "{{\"name\":\"{}{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\
-         \"ts\":{},\"pid\":1,\"tid\":{},\"args\":{{\"{}\":{}}}}}",
+         \"ts\":{},\"pid\":1,\"tid\":{},\"args\":{{\"{}\":{}{}}}}}",
         e.kind.name(),
         suffix,
         e.kind.category(),
         ts_us(e.ts_ns),
         tid,
         e.kind.arg_label(),
-        e.arg
+        e.arg,
+        op_arg(e.op)
     );
 }
 
@@ -60,7 +71,7 @@ fn push_complete(out: &mut String, tid: u64, enter: &Event, exit: &Event) {
     let _ = write!(
         out,
         "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
-         \"pid\":1,\"tid\":{},\"args\":{{\"{}\":{},\"exit_{}\":{}}}}}",
+         \"pid\":1,\"tid\":{},\"args\":{{\"{}\":{},\"exit_{}\":{}{}}}}}",
         enter.kind.name(),
         enter.kind.category(),
         ts_us(enter.ts_ns),
@@ -69,7 +80,8 @@ fn push_complete(out: &mut String, tid: u64, enter: &Event, exit: &Event) {
         enter.kind.arg_label(),
         enter.arg,
         exit.kind.arg_label(),
-        exit.arg
+        exit.arg,
+        op_arg(enter.op)
     );
 }
 
@@ -107,39 +119,42 @@ pub fn chrome_trace_json(traces: &[HandleTrace]) -> String {
             }
         );
 
-        // One pass in ring (≈ time) order, pairing spans. A handle runs
-        // one operation at a time, so at most one span is open at once.
-        let mut open: Option<&Event> = None;
+        // One pass in ring (≈ time) order, pairing spans with a stack:
+        // a handle runs one operation at a time, but `deq_slow` self-helps,
+        // so a `HelpDeq` span can nest inside the operation's own span.
+        // Nesting is proper by construction; mismatches only come from
+        // events lost to ring wrap, and degrade to labelled instants.
+        let mut open: Vec<&Event> = Vec::new();
         for e in &t.events {
             if e.kind.is_span_enter() {
-                if let Some(prev) = open.take() {
-                    sep(&mut events);
-                    push_instant(&mut events, t.id, prev, " (unfinished)");
-                }
-                open = Some(e);
+                open.push(e);
             } else if e.kind.is_span_exit() {
-                match open.take() {
-                    Some(enter) if enter.kind.span_exit() == Some(e.kind) => {
+                if open
+                    .iter()
+                    .any(|enter| enter.kind.span_exit() == Some(e.kind))
+                {
+                    // Unwind to the matching enter; anything above it lost
+                    // its exit to ring wrap.
+                    loop {
+                        let enter = open.pop().expect("matching enter exists");
+                        if enter.kind.span_exit() == Some(e.kind) {
+                            sep(&mut events);
+                            push_complete(&mut events, t.id, enter, e);
+                            break;
+                        }
                         sep(&mut events);
-                        push_complete(&mut events, t.id, enter, e);
+                        push_instant(&mut events, t.id, enter, " (unfinished)");
                     }
-                    Some(prev) => {
-                        sep(&mut events);
-                        push_instant(&mut events, t.id, prev, " (unfinished)");
-                        sep(&mut events);
-                        push_instant(&mut events, t.id, e, " (orphan)");
-                    }
-                    None => {
-                        sep(&mut events);
-                        push_instant(&mut events, t.id, e, " (orphan)");
-                    }
+                } else {
+                    sep(&mut events);
+                    push_instant(&mut events, t.id, e, " (orphan)");
                 }
             } else {
                 sep(&mut events);
                 push_instant(&mut events, t.id, e, "");
             }
         }
-        if let Some(enter) = open {
+        while let Some(enter) = open.pop() {
             sep(&mut events);
             push_instant(&mut events, t.id, enter, " (unfinished)");
         }
@@ -156,7 +171,11 @@ mod tests {
     use crate::event::{EventKind, HandleTrace};
 
     fn ev(ts_ns: u64, kind: EventKind, arg: u64) -> Event {
-        Event { ts_ns, kind, arg }
+        Event { ts_ns, kind, arg, op: 0 }
+    }
+
+    fn ev_op(ts_ns: u64, kind: EventKind, arg: u64, op: u64) -> Event {
+        Event { ts_ns, kind, arg, op }
     }
 
     fn trace(id: u64, events: Vec<Event>) -> HandleTrace {
@@ -190,6 +209,57 @@ mod tests {
         assert!(doc.contains("\"dur\":3.500"));
         assert!(doc.contains("\"cell\":5"));
         assert!(doc.contains("\"exit_cell\":6"));
+        // op 0 means "no episode" and is omitted from args.
+        assert!(!doc.contains("\"op\":"));
+    }
+
+    #[test]
+    fn nested_help_span_pairs_inside_the_slow_span() {
+        // deq_slow self-helps: the HelpDeq pair sits inside the DeqSlow
+        // pair on one recorder, and both must become duration events.
+        let doc = chrome_trace_json(&[trace(
+            0,
+            vec![
+                ev_op(1_000, EventKind::DeqSlowEnter, 7, 7),
+                ev_op(2_000, EventKind::HelpDeqEnter, 7, 7),
+                ev_op(3_000, EventKind::HelpDeqExit, 9, 7),
+                ev_op(5_000, EventKind::DeqSlowExit, 9, 7),
+            ],
+        )]);
+        assert_eq!(doc.matches("\"ph\":\"X\"").count(), 2, "{doc}");
+        assert!(doc.contains("\"name\":\"deq_slow\""));
+        assert!(doc.contains("\"name\":\"help_deq\""));
+        assert!(doc.contains("\"dur\":4.000")); // outer
+        assert!(doc.contains("\"dur\":1.000")); // inner
+        assert_eq!(doc.matches("\"op\":7").count(), 2);
+        assert!(!doc.contains("unfinished"));
+        assert!(!doc.contains("orphan"));
+    }
+
+    #[test]
+    fn lost_inner_exit_degrades_only_the_inner_span() {
+        // The HelpDeqExit fell off the ring: the outer DeqSlow pair must
+        // still become a duration event, the inner enter an instant.
+        let doc = chrome_trace_json(&[trace(
+            0,
+            vec![
+                ev_op(1_000, EventKind::DeqSlowEnter, 7, 7),
+                ev_op(2_000, EventKind::HelpDeqEnter, 7, 7),
+                ev_op(5_000, EventKind::DeqSlowExit, 9, 7),
+            ],
+        )]);
+        assert_eq!(doc.matches("\"ph\":\"X\"").count(), 1);
+        assert!(doc.contains("\"name\":\"deq_slow\""));
+        assert!(doc.contains("help_deq (unfinished)"));
+    }
+
+    #[test]
+    fn instants_carry_the_op_id() {
+        let doc = chrome_trace_json(&[trace(
+            3,
+            vec![ev_op(2_000, EventKind::HelpDeqAnnounce, 42, 17)],
+        )]);
+        assert!(doc.contains("\"cell\":42,\"op\":17"));
     }
 
     #[test]

@@ -65,6 +65,13 @@ pub enum EventKind {
     /// A batch dequeue claimed its cell run with one FAA (arg: claimed
     /// width, after the `(H, T)` partial-probe trim).
     DeqBatch = 20,
+    /// `help_deq` started working on a pending request (arg: the request's
+    /// publish id; op: same). Opens a helper span — nested inside the
+    /// helper's own slow-path span when `deq_slow` self-helps.
+    HelpDeqEnter = 21,
+    /// `help_deq` stopped working on that request (arg: the request's
+    /// final announced index; op: the request's publish id).
+    HelpDeqExit = 22,
 }
 
 /// Every kind, in discriminant order (index `k as usize` is `ALL[k]`).
@@ -90,6 +97,8 @@ pub const ALL_KINDS: &[EventKind] = &[
     EventKind::SegRecycle,
     EventKind::EnqBatch,
     EventKind::DeqBatch,
+    EventKind::HelpDeqEnter,
+    EventKind::HelpDeqExit,
 ];
 
 impl EventKind {
@@ -122,6 +131,8 @@ impl EventKind {
             EventKind::SegRecycle => "seg_recycle",
             EventKind::EnqBatch => "enq_batch",
             EventKind::DeqBatch => "deq_batch",
+            EventKind::HelpDeqEnter => "help_deq",
+            EventKind::HelpDeqExit => "help_deq_exit",
         }
     }
 
@@ -139,7 +150,9 @@ impl EventKind {
             | EventKind::CellSeal
             | EventKind::HelpDeqAnnounce
             | EventKind::HelpDeqComplete
-            | EventKind::HazardAdopt => "help",
+            | EventKind::HazardAdopt
+            | EventKind::HelpDeqEnter
+            | EventKind::HelpDeqExit => "help",
             EventKind::CleanerElected
             | EventKind::HazardClamp
             | EventKind::SegAlloc
@@ -171,14 +184,20 @@ impl EventKind {
             EventKind::EnqRejected => "ceiling",
             EventKind::SegRecycle => "segments_recycled",
             EventKind::EnqBatch | EventKind::DeqBatch => "width",
+            EventKind::HelpDeqEnter => "request",
+            EventKind::HelpDeqExit => "cell",
         }
     }
 
-    /// Whether this kind opens a slow-path span (matched by
-    /// [`span_exit`](Self::span_exit) in the Chrome conversion, and the
-    /// state the starvation watchdog monitors).
+    /// Whether this kind opens a span (matched by
+    /// [`span_exit`](Self::span_exit) in the Chrome conversion). Spans may
+    /// nest: `deq_slow` self-helps, so a `HelpDeqEnter`/`HelpDeqExit` pair
+    /// can sit inside a `DeqSlowEnter`/`DeqSlowExit` pair on one recorder.
     pub fn is_span_enter(self) -> bool {
-        matches!(self, EventKind::EnqSlowEnter | EventKind::DeqSlowEnter)
+        matches!(
+            self,
+            EventKind::EnqSlowEnter | EventKind::DeqSlowEnter | EventKind::HelpDeqEnter
+        )
     }
 
     /// The exit kind closing this enter kind's span, if any.
@@ -186,12 +205,30 @@ impl EventKind {
         match self {
             EventKind::EnqSlowEnter => Some(EventKind::EnqSlowExit),
             EventKind::DeqSlowEnter => Some(EventKind::DeqSlowExit),
+            EventKind::HelpDeqEnter => Some(EventKind::HelpDeqExit),
             _ => None,
         }
     }
 
-    /// Whether this kind closes a slow-path span.
+    /// Whether this kind closes a span.
     pub fn is_span_exit(self) -> bool {
+        matches!(
+            self,
+            EventKind::EnqSlowExit | EventKind::DeqSlowExit | EventKind::HelpDeqExit
+        )
+    }
+
+    /// Whether this kind arms the starvation watchdog's per-recorder
+    /// progress words. Only the two *operation-level* slow-path spans
+    /// qualify: the nested `HelpDeq` span must not clear `slow_since` or
+    /// bump the epoch mid-`deq_slow`, or a thread parked after its
+    /// self-help returned would look like it was making progress.
+    pub fn is_progress_enter(self) -> bool {
+        matches!(self, EventKind::EnqSlowEnter | EventKind::DeqSlowEnter)
+    }
+
+    /// Whether this kind disarms the watchdog progress words.
+    pub fn is_progress_exit(self) -> bool {
         matches!(self, EventKind::EnqSlowExit | EventKind::DeqSlowExit)
     }
 }
@@ -206,6 +243,11 @@ pub struct Event {
     pub kind: EventKind,
     /// Protocol argument — see [`EventKind::arg_label`].
     pub arg: u64,
+    /// Causal operation id: the request's publish id (the requester's
+    /// first failed FAA cell index), or 0 when the event belongs to no
+    /// slow-path episode. Enqueue and dequeue request ids live in separate
+    /// FAA index spaces; the event kind disambiguates the side.
+    pub op: u64,
 }
 
 /// One handle's drained flight-recorder contents.
@@ -256,5 +298,23 @@ mod tests {
                 assert!(!k.is_span_enter());
             }
         }
+    }
+
+    #[test]
+    fn progress_kinds_are_a_strict_subset_of_span_kinds() {
+        for &k in ALL_KINDS {
+            if k.is_progress_enter() {
+                assert!(k.is_span_enter());
+            }
+            if k.is_progress_exit() {
+                assert!(k.is_span_exit());
+            }
+        }
+        // The help span pairs for Chrome rendering but must not drive the
+        // watchdog words (it nests inside deq_slow's own span).
+        assert!(EventKind::HelpDeqEnter.is_span_enter());
+        assert!(!EventKind::HelpDeqEnter.is_progress_enter());
+        assert!(EventKind::HelpDeqExit.is_span_exit());
+        assert!(!EventKind::HelpDeqExit.is_progress_exit());
     }
 }

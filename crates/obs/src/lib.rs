@@ -59,9 +59,13 @@ pub const ENABLED: bool = cfg!(feature = "trace");
 /// it into the thread's ring (creating and registering the recorder on
 /// first use).
 ///
+/// The optional third argument is the causal operation id (the slow-path
+/// request's publish id); the two-argument form records op 0 (no episode).
+///
 /// ```
 /// use wfq_obs::{record, EventKind};
 /// record!(EventKind::EnqFast, 42u64);
+/// record!(EventKind::EnqSlowEnter, 42u64, 42u64);
 /// ```
 #[macro_export]
 #[cfg(not(feature = "trace"))]
@@ -69,17 +73,24 @@ macro_rules! record {
     ($kind:expr, $arg:expr) => {
         ()
     };
+    ($kind:expr, $arg:expr, $op:expr) => {
+        ()
+    };
 }
 
 /// Records a typed protocol event on the calling thread's flight recorder.
 ///
 /// This build has `trace` enabled: every expansion takes a raw timestamp
-/// and appends to the calling thread's event ring.
+/// and appends to the calling thread's event ring. The optional third
+/// argument is the causal operation id (0 when omitted).
 #[macro_export]
 #[cfg(feature = "trace")]
 macro_rules! record {
     ($kind:expr, $arg:expr) => {
-        $crate::rt_record($kind, $arg as u64)
+        $crate::rt_record($kind, $arg as u64, 0u64)
+    };
+    ($kind:expr, $arg:expr, $op:expr) => {
+        $crate::rt_record($kind, $arg as u64, $op as u64)
     };
 }
 
@@ -99,6 +110,7 @@ pub use recorder::record as rt_record;
 #[cfg(not(feature = "trace"))]
 const _ZERO_OVERHEAD_PROOF: () = {
     record!(EventKind::EnqFast, 0u64);
+    record!(EventKind::EnqSlowEnter, 0u64, 0u64);
 };
 
 #[cfg(test)]
@@ -129,6 +141,18 @@ mod tests {
         });
         const IN_CONST: () = record!(EventKind::EnqFast, 0u64);
         assert_eq!(unit, IN_CONST);
+        // The three-argument (op-carrying) form is equally inert.
+        let _: () = record!(EventKind::DeqSlowEnter, 1u64, {
+            #[allow(unreachable_code)]
+            {
+                if true {
+                    panic!("record! must not evaluate the op in default builds")
+                }
+                0u64
+            }
+        });
+        const OP_IN_CONST: () = record!(EventKind::DeqSlowEnter, 0u64, 0u64);
+        assert_eq!(unit, OP_IN_CONST);
     }
 
     #[cfg(feature = "trace")]
@@ -138,7 +162,7 @@ mod tests {
         std::thread::spawn(|| {
             let before = recorder_count();
             record!(EventKind::CleanerElected, 0xC0FFEE_u64);
-            record!(EventKind::SegFree, 3u64);
+            record!(EventKind::SegFree, 3u64, 11u64);
             assert!(recorder_count() > before);
             // Tests share the process-global registry; find our trace by
             // the marker argument rather than by position.
@@ -151,8 +175,12 @@ mod tests {
                         .any(|e| e.kind == EventKind::CleanerElected && e.arg == 0xC0FFEE)
                 })
                 .expect("registered by first record!");
-            let kinds: Vec<EventKind> = mine.events.iter().map(|e| e.kind).collect();
-            assert!(kinds.contains(&EventKind::SegFree));
+            let seg_free = mine
+                .events
+                .iter()
+                .find(|e| e.kind == EventKind::SegFree)
+                .expect("second record! landed");
+            assert_eq!((seg_free.arg, seg_free.op), (3, 11));
         })
         .join()
         .unwrap();

@@ -61,7 +61,13 @@ impl RecorderShared {
     /// For tests and tools; protocol code uses [`record!`](crate::record).
     /// **Single-writer**: one thread at a time may record on a recorder.
     pub fn record_event(&self, kind: EventKind, arg: u64) {
-        self.record(kind, arg);
+        self.record(kind, arg, 0);
+    }
+
+    /// Like [`record_event`](Self::record_event) but carrying a causal
+    /// operation id (the slow-path request's publish id).
+    pub fn record_event_op(&self, kind: EventKind, arg: u64, op: u64) {
+        self.record(kind, arg, op);
     }
 
     fn new(id: u64, capacity: usize) -> Self {
@@ -78,20 +84,22 @@ impl RecorderShared {
         }
     }
 
-    /// Records one event (owner thread only).
+    /// Records one event (owner thread only). Only *progress* kinds drive
+    /// the watchdog words: the nested `HelpDeq` span pairs for Chrome
+    /// rendering but must not clear `slow_since` mid-`deq_slow`.
     #[inline]
-    pub(crate) fn record(&self, kind: EventKind, arg: u64) {
+    pub(crate) fn record(&self, kind: EventKind, arg: u64, op: u64) {
         let now = clock::raw_now();
-        if kind.is_span_enter() {
+        if kind.is_progress_enter() {
             self.slow_kind.store(kind as u32, Ordering::Relaxed);
             // `max(1)`: raw 0 is the idle sentinel; the first-ever reading
             // can legitimately be 0.
             self.slow_since_raw.store(now.max(1), Ordering::Release);
-        } else if kind.is_span_exit() {
+        } else if kind.is_progress_exit() {
             self.slow_since_raw.store(0, Ordering::Release);
             self.epoch.fetch_add(1, Ordering::Release);
         }
-        self.ring.push(now, kind, arg);
+        self.ring.push(now, kind, arg, op);
     }
 
     /// Watchdog view: `(slow_since_raw, kind, epoch)`.
@@ -140,8 +148,8 @@ thread_local! {
 /// registering it on first use. Called by [`record!`](crate::record); not
 /// meant to be called directly.
 #[cfg(feature = "trace")]
-pub fn record(kind: EventKind, arg: u64) {
-    RECORDER.with(|r| r.get_or_init(register_current_thread).record(kind, arg));
+pub fn record(kind: EventKind, arg: u64, op: u64) {
+    RECORDER.with(|r| r.get_or_init(register_current_thread).record(kind, arg, op));
 }
 
 /// Number of recorders ever registered.
@@ -174,6 +182,7 @@ pub fn drain() -> Vec<HandleTrace> {
                         ts_ns: clock::raw_to_ns(e.ts_raw),
                         kind: e.kind,
                         arg: e.arg,
+                        op: e.op,
                     })
                     .collect(),
                 dropped,
@@ -199,9 +208,9 @@ mod tests {
         let before = recorder_count();
         let rec = std::thread::spawn(|| {
             let rec = register_current_thread();
-            rec.record(EventKind::EnqFast, 7);
-            rec.record(EventKind::EnqSlowEnter, 8);
-            rec.record(EventKind::EnqSlowExit, 9);
+            rec.record_event(EventKind::EnqFast, 7);
+            rec.record_event_op(EventKind::EnqSlowEnter, 8, 8);
+            rec.record_event_op(EventKind::EnqSlowExit, 9, 8);
             rec.id
         })
         .join()
@@ -221,6 +230,11 @@ mod tests {
         assert_eq!(t.dropped, 0);
         // Timestamps are monotone within one recorder.
         assert!(t.events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        // The op id rode through the ring; the point event carries op 0.
+        assert_eq!(
+            t.events.iter().map(|e| e.op).collect::<Vec<_>>(),
+            vec![0, 8, 8]
+        );
     }
 
     #[test]
@@ -228,11 +242,11 @@ mod tests {
         let rec = register_current_thread();
         let (idle, _, e0) = rec.progress();
         assert_eq!(idle, 0);
-        rec.record(EventKind::DeqSlowEnter, 1);
+        rec.record_event(EventKind::DeqSlowEnter, 1);
         let (since, kind, _) = rec.progress();
         assert_ne!(since, 0);
         assert_eq!(kind, Some(EventKind::DeqSlowEnter));
-        rec.record(EventKind::DeqSlowExit, 1);
+        rec.record_event(EventKind::DeqSlowExit, 1);
         let (after, _, e1) = rec.progress();
         assert_eq!(after, 0);
         assert_eq!(e1, e0 + 1);
@@ -242,10 +256,34 @@ mod tests {
     fn non_span_events_do_not_touch_progress() {
         let rec = register_current_thread();
         let (_, _, e0) = rec.progress();
-        rec.record(EventKind::HelpEnqCommit, 3);
-        rec.record(EventKind::SegAlloc, 4);
+        rec.record_event(EventKind::HelpEnqCommit, 3);
+        rec.record_event(EventKind::SegAlloc, 4);
         let (since, _, e1) = rec.progress();
         assert_eq!(since, 0);
         assert_eq!(e1, e0);
+    }
+
+    #[test]
+    fn nested_help_span_leaves_the_watchdog_words_armed() {
+        // deq_slow self-helps: DeqSlowEnter, then a HelpDeqEnter/Exit pair,
+        // then DeqSlowExit — all on one recorder. The inner pair must not
+        // disarm `slow_since` or bump the epoch, or a thread parked *after*
+        // its self-help returned would look idle to the watchdog.
+        let rec = register_current_thread();
+        let (_, _, e0) = rec.progress();
+        rec.record_event_op(EventKind::DeqSlowEnter, 5, 5);
+        let (armed, kind, _) = rec.progress();
+        assert_ne!(armed, 0);
+        assert_eq!(kind, Some(EventKind::DeqSlowEnter));
+        rec.record_event_op(EventKind::HelpDeqEnter, 5, 5);
+        rec.record_event_op(EventKind::HelpDeqExit, 9, 5);
+        let (still_armed, kind, e_mid) = rec.progress();
+        assert_eq!(still_armed, armed, "help span disarmed the watchdog");
+        assert_eq!(kind, Some(EventKind::DeqSlowEnter));
+        assert_eq!(e_mid, e0, "help span bumped the progress epoch");
+        rec.record_event_op(EventKind::DeqSlowExit, 9, 5);
+        let (after, _, e1) = rec.progress();
+        assert_eq!(after, 0);
+        assert_eq!(e1, e0 + 1);
     }
 }

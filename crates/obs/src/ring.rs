@@ -28,6 +28,7 @@ pub(crate) struct RawEvent {
     pub ts_raw: u64,
     pub kind: EventKind,
     pub arg: u64,
+    pub op: u64,
 }
 
 #[derive(Default)]
@@ -37,6 +38,7 @@ struct Slot {
     ts: AtomicU64,
     kind: AtomicU32,
     arg: AtomicU64,
+    op: AtomicU64,
 }
 
 pub(crate) struct EventRing {
@@ -74,7 +76,7 @@ impl EventRing {
     /// call this; `&self` because the owner reaches the ring through a
     /// shared [`Arc`](std::sync::Arc).
     #[inline]
-    pub fn push(&self, ts_raw: u64, kind: EventKind, arg: u64) {
+    pub fn push(&self, ts_raw: u64, kind: EventKind, arg: u64, op: u64) {
         let idx = self.wcur.load(Ordering::Relaxed);
         let slot = &self.slots[(idx & self.mask) as usize];
         // Invalidate, so a concurrent reader can't accept a half-new slot.
@@ -82,6 +84,7 @@ impl EventRing {
         slot.ts.store(ts_raw, Ordering::Relaxed);
         slot.kind.store(kind as u32, Ordering::Relaxed);
         slot.arg.store(arg, Ordering::Relaxed);
+        slot.op.store(op, Ordering::Relaxed);
         // Publish payload (Release), then advance the cursor. The cursor
         // store is Release too so `pushed()` readers see published slots.
         slot.seq.store(idx + 1, Ordering::Release);
@@ -103,6 +106,7 @@ impl EventRing {
             let ts_raw = slot.ts.load(Ordering::Relaxed);
             let kind = slot.kind.load(Ordering::Relaxed);
             let arg = slot.arg.load(Ordering::Relaxed);
+            let op = slot.op.load(Ordering::Relaxed);
             // Re-check: if the writer lapped us mid-read, discard.
             if slot.seq.load(Ordering::Acquire) != idx + 1 {
                 continue;
@@ -110,7 +114,7 @@ impl EventRing {
             let Some(kind) = EventKind::from_u8(kind as u8) else {
                 continue; // torn beyond recognition; drop it
             };
-            out.push(RawEvent { ts_raw, kind, arg });
+            out.push(RawEvent { ts_raw, kind, arg, op });
         }
         (out, start)
     }
@@ -131,7 +135,7 @@ mod tests {
     fn push_then_snapshot_roundtrips_in_order() {
         let r = EventRing::with_capacity(64);
         for i in 0..10u64 {
-            r.push(i * 100, EventKind::EnqFast, i);
+            r.push(i * 100, EventKind::EnqFast, i, i * 7);
         }
         let (evs, dropped) = r.snapshot();
         assert_eq!(dropped, 0);
@@ -140,6 +144,7 @@ mod tests {
             assert_eq!(e.ts_raw, i as u64 * 100);
             assert_eq!(e.kind, EventKind::EnqFast);
             assert_eq!(e.arg, i as u64);
+            assert_eq!(e.op, i as u64 * 7);
         }
     }
 
@@ -147,7 +152,7 @@ mod tests {
     fn overwrite_keeps_the_most_recent_window() {
         let r = EventRing::with_capacity(16);
         for i in 0..100u64 {
-            r.push(i, EventKind::DeqFast, i);
+            r.push(i, EventKind::DeqFast, i, 0);
         }
         let (evs, dropped) = r.snapshot();
         assert_eq!(dropped, 100 - 16);
@@ -158,16 +163,42 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_between_laps_yields_the_latest_window_in_order() {
+        // Wraparound with quiescent snapshots at each stage: the resident
+        // window must always be the most recent `capacity` pushes, oldest
+        // first, with an exact dropped count.
+        let r = EventRing::with_capacity(16);
+        for i in 0..5u64 {
+            r.push(i, EventKind::EnqFast, i, i);
+        }
+        let (evs, dropped) = r.snapshot();
+        assert_eq!((evs.len(), dropped), (5, 0));
+        // Lap the ring six times over.
+        for i in 5..105u64 {
+            r.push(i, EventKind::EnqFast, i, i);
+        }
+        let (evs, dropped) = r.snapshot();
+        assert_eq!(dropped, 105 - 16);
+        let args: Vec<u64> = evs.iter().map(|e| e.arg).collect();
+        assert_eq!(args, (89..105).collect::<Vec<u64>>());
+        for e in &evs {
+            assert_eq!(e.ts_raw, e.arg);
+            assert_eq!(e.op, e.arg);
+        }
+    }
+
+    #[test]
     fn concurrent_reader_never_sees_torn_kinds() {
         // The writer floods the ring while a reader snapshots repeatedly;
-        // every accepted event must be internally consistent (ts == arg,
-        // our invariant below) — torn reads must be skipped, not surfaced.
+        // every accepted event must be internally consistent (ts == arg ==
+        // op, our invariant below) — torn reads must be skipped, not
+        // surfaced.
         let r = EventRing::with_capacity(32);
         std::thread::scope(|s| {
             let r = &r;
             s.spawn(move || {
                 for i in 0..200_000u64 {
-                    r.push(i, EventKind::HelpEnqCommit, i);
+                    r.push(i, EventKind::HelpEnqCommit, i, i);
                 }
             });
             s.spawn(move || {
@@ -175,7 +206,56 @@ mod tests {
                     let (evs, _) = r.snapshot();
                     for e in evs {
                         assert_eq!(e.ts_raw, e.arg, "torn slot surfaced");
+                        assert_eq!(e.op, e.arg, "torn op word surfaced");
                         assert_eq!(e.kind, EventKind::HelpEnqCommit);
+                    }
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn writer_lapping_a_reader_never_yields_out_of_order_events() {
+        // The seqlock skips slots the writer is overwriting, but skipping
+        // must never reorder: within one snapshot the accepted events'
+        // payloads must be strictly increasing (we push a monotone counter)
+        // and bounded by what had been pushed. Run with a tiny ring so the
+        // writer laps the reader mid-walk constantly.
+        let r = EventRing::with_capacity(16);
+        std::thread::scope(|s| {
+            let r = &r;
+            s.spawn(move || {
+                for i in 0..300_000u64 {
+                    r.push(i, EventKind::DeqFast, i, i);
+                }
+            });
+            s.spawn(move || {
+                let mut last_dropped = 0u64;
+                for _ in 0..5_000 {
+                    let (evs, dropped) = r.snapshot();
+                    assert!(evs.len() <= r.capacity());
+                    assert!(
+                        dropped >= last_dropped,
+                        "dropped count went backwards: {dropped} < {last_dropped}"
+                    );
+                    last_dropped = dropped;
+                    let mut prev: Option<u64> = None;
+                    for e in evs {
+                        assert_eq!(e.ts_raw, e.arg, "torn slot surfaced");
+                        assert_eq!(e.op, e.arg, "torn op word surfaced");
+                        assert!(
+                            e.arg >= dropped,
+                            "event older than the drop horizon surfaced"
+                        );
+                        if let Some(p) = prev {
+                            assert!(
+                                e.arg > p,
+                                "out-of-order events: {} after {}",
+                                e.arg,
+                                p
+                            );
+                        }
+                        prev = Some(e.arg);
                     }
                 }
             });

@@ -190,7 +190,7 @@ mod tests {
         let rec = register_current_thread();
         let dog = Watchdog::spawn(quick());
         // Enter a slow path and "park" (never exit) past the threshold.
-        rec.record(EventKind::DeqSlowEnter, 1);
+        rec.record(EventKind::DeqSlowEnter, 1, 0);
         std::thread::sleep(Duration::from_millis(80));
         let reports = dog.stop();
         let mine: Vec<_> = reports.iter().filter(|r| r.recorder == rec.id).collect();
@@ -199,7 +199,7 @@ mod tests {
         assert!(mine[0].stalled >= Duration::from_millis(20));
         // One episode → one report, however many sampling rounds passed.
         assert_eq!(mine.len(), 1, "stall re-reported: {mine:?}");
-        rec.record(EventKind::DeqSlowExit, 1); // unpark for later tests
+        rec.record(EventKind::DeqSlowExit, 1, 0); // unpark for later tests
     }
 
     #[test]
@@ -207,8 +207,8 @@ mod tests {
         let rec = register_current_thread();
         let dog = Watchdog::spawn(quick());
         for i in 0..50 {
-            rec.record(EventKind::EnqSlowEnter, i);
-            rec.record(EventKind::EnqSlowExit, i);
+            rec.record(EventKind::EnqSlowEnter, i, 0);
+            rec.record(EventKind::EnqSlowExit, i, 0);
             std::thread::sleep(Duration::from_millis(1));
         }
         let reports = dog.stop();
@@ -231,9 +231,9 @@ mod tests {
                 }
             })
         };
-        rec.record(EventKind::EnqSlowEnter, 1);
+        rec.record(EventKind::EnqSlowEnter, 1, 0);
         std::thread::sleep(Duration::from_millis(60));
-        rec.record(EventKind::EnqSlowExit, 1);
+        rec.record(EventKind::EnqSlowExit, 1, 0);
         drop(dog);
         assert_eq!(*hits.lock().unwrap(), 1);
     }

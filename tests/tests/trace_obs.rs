@@ -94,6 +94,89 @@ mod traced {
         let _ = std::fs::remove_file(&path);
     }
 
+    /// The acceptance criterion for help-chain reconstruction: a contended
+    /// 16-thread run with patience 0 (every losing fast path publishes a
+    /// help-ring request) must reconstruct at least one **multi-hop** chain
+    /// — an episode where a thread other than the requester contributed a
+    /// help event with the matching op id — with properly matched
+    /// open/close pairs. Contention is scheduler-dependent, so the test
+    /// retries a few fresh queues; each round scopes its assertions to its
+    /// own traffic with [`wfq_obs::mark_ns`] (other tests in this binary
+    /// share the recorder registry).
+    #[test]
+    fn sixteen_thread_contention_reconstructs_a_multi_hop_help_chain() {
+        use wfq_harness::spans;
+
+        for round in 0..10 {
+            let mark = wfq_obs::mark_ns();
+            let q = RawQueue::<16>::with_config(Config::default().with_patience(0));
+            std::thread::scope(|s| {
+                for t in 0..16u64 {
+                    let q = &q;
+                    s.spawn(move || {
+                        let mut h = q.register();
+                        for k in 0..150u64 {
+                            // Dequeue-heavy mix: empty dequeues ⊤-seal head
+                            // cells, so patience-0 enqueues lose their only
+                            // fast-path attempt and publish requests that
+                            // the dequeuers' help_enq then commits.
+                            if (t + k) % 3 == 0 {
+                                h.enqueue((t + 1) * 10_000 + k + 1);
+                            } else {
+                                let _ = h.dequeue();
+                            }
+                        }
+                    });
+                }
+            });
+
+            let mut traces = wfq_obs::drain();
+            for t in &mut traces {
+                t.events.retain(|e| e.ts_ns >= mark);
+            }
+            let report = spans::reconstruct(&traces);
+
+            // Pairing invariants hold for whatever was reconstructed.
+            for c in &report.chains {
+                assert!(
+                    c.span.end_ns >= c.span.start_ns,
+                    "span close precedes open: {:?}",
+                    c.span
+                );
+                assert!(c.depth >= 1, "every matched episode counts itself");
+                assert!(
+                    c.helpers.iter().all(|&h| h != c.span.recorder),
+                    "requester listed among its own helpers: {c:?}"
+                );
+            }
+            assert_eq!(
+                report.residency.count() as usize,
+                report.chains.len(),
+                "one residency sample per matched episode"
+            );
+
+            if let Some(c) = report.chains.iter().find(|c| c.is_multi_hop()) {
+                assert!(c.depth >= 2, "a multi-hop chain spans ≥2 threads: {c:?}");
+                assert!(
+                    c.hops.iter().any(|h| h.helper != c.span.recorder),
+                    "multi-hop chain without a cross-thread hop: {c:?}"
+                );
+                assert!(report.max_chain_depth >= 2);
+                assert!(
+                    report.helper_latency.count() > 0,
+                    "cross-thread hops must feed the helper-latency histogram"
+                );
+                eprintln!("round {round}:\n{}", report.render());
+                return;
+            }
+            eprintln!(
+                "round {round}: {} episodes but no multi-hop chain yet",
+                report.chains.len()
+            );
+        }
+        panic!("16 contended threads never produced a multi-hop help chain in 10 rounds");
+    }
+
     /// The Prometheus artifact for a real run: every line is a comment or
     /// a `name value` sample, counters cover the stats that drive Table 2,
     /// and the gauges derived from a live queue are present and sane.
@@ -225,5 +308,81 @@ mod watchdog_integration {
         drop(dog);
         // The parked operation completed once released; nothing was lost.
         assert_eq!(h.dequeue(), Some(42));
+    }
+
+    /// The batch slow path is watched too: a `dequeue_batch` straggler
+    /// falls back to `deq_slow`, and a thread parked inside that fallback
+    /// (here: just before its self-help announces a candidate cell) must
+    /// be reported as a `DeqSlowEnter` stall — the nested help span the
+    /// self-help opens must not disarm the progress words.
+    #[test]
+    fn watchdog_catches_a_batch_dequeue_straggler_parked_in_deq_slow() {
+        let q = RawQueue::<16>::with_config(Config::default().with_patience(0));
+        let parked = Arc::new(Event::default());
+        let release = Arc::new(Event::default());
+
+        // Seal cell 0 (empty dequeue), then batch-enqueue: the deposit
+        // into sealed cell 0 stragglers, so the batch abandons its other
+        // pre-claimed cells and re-enqueues — leaving abandoned ⊥ cells
+        // ahead of the values. A later batch dequeue that claims those
+        // cells stragglers in turn and enters `deq_slow`.
+        let mut h = q.register();
+        assert_eq!(h.dequeue(), None);
+        h.enqueue_batch(&[1, 2, 3]);
+        assert!(
+            q.stats().enq_batch_stragglers >= 1,
+            "setup: no enq straggler"
+        );
+
+        let dog = Watchdog::spawn(WatchdogConfig {
+            interval: Duration::from_millis(2),
+            threshold: Duration::from_millis(20),
+        });
+
+        let mut out = Vec::new();
+        std::thread::scope(|s| {
+            {
+                let q = &q;
+                let out = &mut out;
+                let (parked, release) = (Arc::clone(&parked), Arc::clone(&release));
+                s.spawn(move || {
+                    let p = Arc::clone(&parked);
+                    let r = Arc::clone(&release);
+                    fault::with_plan(
+                        FaultPlan::new().hook_at(
+                            "help_deq::pre_announce",
+                            0,
+                            Arc::new(move |_| {
+                                p.set();
+                                r.wait();
+                            }),
+                        ),
+                        || {
+                            let mut h = q.register();
+                            h.dequeue_batch(out, 3);
+                        },
+                    );
+                });
+            }
+
+            parked.wait();
+            std::thread::sleep(Duration::from_millis(80));
+            let reports = dog.reports();
+            let stall = reports
+                .iter()
+                .find(|r| r.kind == EventKind::DeqSlowEnter)
+                .unwrap_or_else(|| panic!("parked batch deq_slow not reported: {reports:?}"));
+            assert!(stall.stalled >= Duration::from_millis(20));
+            release.set();
+        });
+
+        drop(dog);
+        // Once released, the batch recovered every value despite the
+        // stragglers, in order.
+        assert_eq!(out, vec![1, 2, 3]);
+        assert!(
+            q.stats().deq_batch_stragglers >= 1,
+            "setup: the batch dequeue never straggled"
+        );
     }
 }
