@@ -13,6 +13,11 @@
 //! | [`ccqueue`] | Fatourou & Kallimanis 2012 (CC-Synch) | blocking | SWAP + combining |
 //! | [`faa`] | FAA-only microbenchmark | wait-free* | FAA |
 //! | [`mutex_queue`] | `Mutex<VecDeque>` reference | blocking | lock |
+//! | [`scq`] | Nikolaev 2019 (SCQ indirect ring) | lock-free | FAA + CAS |
+//! | [`wcq`] | Nikolaev & Ravindran 2022 (wCQ) | wait-free† | FAA + CAS2 |
+//!
+//! (†wait-free completion via helping records; see the [`wcq`] module for
+//! the exact progress contract of this implementation.)
 //!
 //! (*the FAA microbenchmark is not a queue — it upper-bounds every
 //! FAA-based queue's throughput; §5 "simulates enqueue and dequeue
@@ -37,6 +42,8 @@ pub mod lcrq;
 pub mod msqueue;
 pub mod msqueue_ebr;
 pub mod mutex_queue;
+pub mod scq;
+pub mod wcq;
 
 pub use ccqueue::CcQueue;
 pub use faa::FaaBench;
@@ -45,110 +52,20 @@ pub use lcrq::Lcrq;
 pub use msqueue::MsQueue;
 pub use msqueue_ebr::MsQueueEbr;
 pub use mutex_queue::MutexQueue;
+pub use scq::Scq;
+pub use wcq::Wcq;
 
-/// A per-thread handle through which a benchmark queue is operated.
-pub trait QueueHandle: Send {
-    /// Enqueues `v` (must avoid the implementation's reserved patterns:
-    /// use `1 ..= u64::MAX - 2`).
-    fn enqueue(&mut self, v: u64);
-    /// Dequeues the oldest value, or `None` if the queue appeared empty.
-    fn dequeue(&mut self) -> Option<u64>;
-    /// Enqueues every value in `vs` in order. The default is an element
-    /// loop; queues with a native batch fast path (one FAA per batch)
-    /// override it, so the harness's `--batch` workload compares each
-    /// queue's best effort at the same shape.
-    fn enqueue_batch(&mut self, vs: &[u64]) {
-        for &v in vs {
-            self.enqueue(v);
-        }
-    }
-    /// Dequeues up to `max` values into `out`, returning how many were
-    /// appended. The default loops `dequeue` and stops at the first
-    /// `None`; native implementations claim the whole run with one FAA.
-    fn dequeue_batch(&mut self, out: &mut Vec<u64>, max: usize) -> usize {
-        let mut got = 0;
-        while got < max {
-            match self.dequeue() {
-                Some(v) => {
-                    out.push(v);
-                    got += 1;
-                }
-                None => break,
-            }
-        }
-        got
-    }
-}
-
-/// Uniform interface the benchmark harness drives.
-///
-/// Implemented by every baseline here and by the wait-free queue (so
-/// everything the harness compares goes through one interface).
-pub trait BenchQueue: Send + Sync + Sized {
-    /// The per-thread handle type.
-    type Handle<'q>: QueueHandle
-    where
-        Self: 'q;
-    /// Display name used in reports (matches the paper's legend).
-    const NAME: &'static str;
-    /// Creates an empty queue.
-    fn new() -> Self;
-    /// Creates an empty queue bounded to at most `ceiling` live segments,
-    /// where the implementation supports it (the wait-free queue's
-    /// bounded-memory mode). Baselines without a bounded mode ignore the
-    /// ceiling — the harness prints which queues honored it.
-    fn with_ceiling(ceiling: Option<u64>) -> Self {
-        let _ = ceiling;
-        Self::new()
-    }
-    /// Whether [`with_ceiling`](Self::with_ceiling) actually bounds memory
-    /// for this implementation.
-    const HONORS_CEILING: bool = false;
-    /// Registers the calling thread.
-    fn register(&self) -> Self::Handle<'_>;
-}
+// The uniform queue interface graduated to `wfqueue` as the production
+// `QueueBackend` API (so the wait-free queue's own impl can live next to
+// the queue, and non-bench consumers don't pull this crate in). The
+// historical `BenchQueue`/`QueueHandle` names stay as aliases: every
+// existing impl and import keeps working.
+pub use wfqueue::{BackendHandle, QueueBackend};
+pub use wfqueue::{BackendHandle as QueueHandle, QueueBackend as BenchQueue};
 
 mod wf_impl {
     use super::{BenchQueue, QueueHandle};
-    use wfqueue::{Config, Handle, RawQueue};
-
-    impl QueueHandle for Handle<'_> {
-        #[inline]
-        fn enqueue(&mut self, v: u64) {
-            Handle::enqueue(self, v);
-        }
-        #[inline]
-        fn dequeue(&mut self) -> Option<u64> {
-            Handle::dequeue(self)
-        }
-        #[inline]
-        fn enqueue_batch(&mut self, vs: &[u64]) {
-            Handle::enqueue_batch(self, vs);
-        }
-        #[inline]
-        fn dequeue_batch(&mut self, out: &mut Vec<u64>, max: usize) -> usize {
-            Handle::dequeue_batch(self, out, max)
-        }
-    }
-
-    impl BenchQueue for RawQueue {
-        type Handle<'q> = Handle<'q>;
-        const NAME: &'static str = "WF-10";
-        const HONORS_CEILING: bool = true;
-        fn new() -> Self {
-            RawQueue::with_config(Config::wf10())
-        }
-        fn with_ceiling(ceiling: Option<u64>) -> Self {
-            let mut config = Config::wf10();
-            if let Some(c) = ceiling {
-                config = config.with_segment_ceiling(c);
-            }
-            RawQueue::with_config(config)
-        }
-        fn register(&self) -> Self::Handle<'_> {
-            RawQueue::register(self)
-        }
-    }
+    use wfqueue::{Config, Full, Gauges, Handle, QueueStats, RawQueue};
 
     /// Newtype selecting the paper's WF-0 configuration (patience 0).
     pub struct Wf0(pub RawQueue);
@@ -166,8 +83,16 @@ mod wf_impl {
             self.0.dequeue()
         }
         #[inline]
+        fn try_enqueue(&mut self, v: u64) -> Result<(), Full> {
+            self.0.try_enqueue(v)
+        }
+        #[inline]
         fn enqueue_batch(&mut self, vs: &[u64]) {
             self.0.enqueue_batch(vs);
+        }
+        #[inline]
+        fn try_enqueue_batch(&mut self, vs: &[u64]) -> Result<(), Full> {
+            self.0.try_enqueue_batch(vs)
         }
         #[inline]
         fn dequeue_batch(&mut self, out: &mut Vec<u64>, max: usize) -> usize {
@@ -191,6 +116,15 @@ mod wf_impl {
         }
         fn register(&self) -> Self::Handle<'_> {
             Wf0Handle(self.0.register())
+        }
+        fn stats(&self) -> QueueStats {
+            self.0.stats()
+        }
+        fn gauges(&self) -> Option<Gauges> {
+            Some(self.0.gauges())
+        }
+        fn reclaim_hint(&self) -> bool {
+            true
         }
     }
 }
@@ -223,6 +157,19 @@ pub const FAULT_POINTS: &[&str] = &[
     "msq::enq::tail_protected",
     "msq::deq::next_protected",
     "msq::deq::pre_unlink",
+    "scq::enq::pre_cas",
+    "scq::enq::threshold_reset",
+    "scq::deq::pre_consume",
+    "scq::deq::slot_advance",
+    "scq::deq::threshold_decrement",
+    "scq::deq::catchup",
+    "wcq::enq_slow::published",
+    "wcq::enq_slow::install",
+    "wcq::enq_slow::finalize",
+    "wcq::deq_slow::published",
+    "wcq::deq_slow::consume_mark",
+    "wcq::deq_slow::finalize",
+    "wcq::help::takeover",
 ];
 
 /// Shared conformance tests: every [`BenchQueue`] must pass these.

@@ -4,8 +4,8 @@
 //!
 //! ```text
 //! cargo run -p wfq-bench --release --bin table2 -- [--ops N] [--patience P] \
-//!     [--segment-ceiling S] [--batch K] [--metrics-out metrics.prom] \
-//!     [--trace out.trace.json]
+//!     [--backend wf|scq|wcq] [--segment-ceiling S] [--batch K] \
+//!     [--metrics-out metrics.prom] [--trace out.trace.json]
 //! ```
 //!
 //! `--metrics-out` writes the highest-thread-count run's statistics in the
@@ -14,9 +14,14 @@
 //! `--batch K` swaps the workload for batched pairs of width `K` so the
 //! breakdown (and the stats' `batch` line) shows how many elements the
 //! one-FAA batch fast path absorbed versus straggler fallbacks.
+//! `--backend scq|wcq` runs the same sweep on the bounded-ring backends
+//! through the `QueueBackend` trait (their `stats()` fill the same
+//! taxonomy; `--patience` only applies to the default `wf` backend — the
+//! rings run at their own defaults).
 
+use wfq_baselines::{BenchQueue, Scq, Wcq};
 use wfq_bench::Args;
-use wfq_harness::breakdown::{render_table2, run_breakdown};
+use wfq_harness::breakdown::{render_table2, run_breakdown, run_breakdown_on, Breakdown};
 use wfq_harness::topology;
 use wfq_harness::{BenchConfig, Workload};
 
@@ -24,6 +29,7 @@ fn main() {
     let args = Args::parse();
     let hw = topology::num_cpus();
     let patience = args.num("patience", 0) as u32;
+    let backend = args.get("backend").unwrap_or("wf").to_string();
     let workload = match args.get("batch").and_then(|s| s.parse::<u32>().ok()) {
         Some(k) => Workload::BatchPairs(k.max(1)),
         None => Workload::FiftyEnqueues,
@@ -43,12 +49,31 @@ fn main() {
             segment_ceiling: args.get("segment-ceiling").and_then(|s| s.parse().ok()),
             ..BenchConfig::default()
         };
-        eprintln!("table2: running WF-{patience} with {threads} threads ...");
-        rows.push(run_breakdown(patience, &cfg));
+        let row: Breakdown = match backend.as_str() {
+            "wf" => {
+                eprintln!("table2: running WF-{patience} with {threads} threads ...");
+                run_breakdown(patience, &cfg)
+            }
+            "scq" => {
+                eprintln!("table2: running {} with {threads} threads ...", Scq::NAME);
+                run_breakdown_on::<Scq>(&cfg)
+            }
+            "wcq" => {
+                eprintln!("table2: running {} with {threads} threads ...", Wcq::NAME);
+                run_breakdown_on::<Wcq>(&cfg)
+            }
+            other => panic!("unknown --backend {other:?} (expected wf, scq or wcq)"),
+        };
+        rows.push(row);
     }
 
+    let title = match backend.as_str() {
+        "wf" => format!("WF-{patience}"),
+        "scq" => Scq::NAME.to_string(),
+        _ => Wcq::NAME.to_string(),
+    };
     println!(
-        "Table 2: breakdown of execution paths of WF-{patience} \
+        "Table 2: breakdown of execution paths of {title} \
          ({} benchmark, {} hardware threads; counts beyond {} are oversubscribed)\n",
         workload.name(),
         hw,

@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+mod backend;
 mod cell;
 mod config;
 mod full;
@@ -79,6 +80,7 @@ mod segment;
 mod stats;
 mod typed;
 
+pub use backend::{BackendHandle, QueueBackend};
 pub use config::Config;
 pub use full::Full;
 pub use owned::{OwnedHandle, OwnedLocalHandle};

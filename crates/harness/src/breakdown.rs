@@ -8,6 +8,7 @@
 
 use std::sync::Barrier;
 
+use wfq_baselines::{BenchQueue, QueueHandle};
 use wfq_sync::delay::SpinDelay;
 use wfq_sync::XorShift64;
 use wfqueue::{Config, QueueStats, RawQueue};
@@ -35,16 +36,30 @@ pub struct Breakdown {
 /// on a fresh wait-free queue with the given patience and returns the
 /// path breakdown.
 pub fn run_breakdown(patience: u32, cfg: &BenchConfig) -> Breakdown {
-    let batch = match cfg.workload {
-        Workload::FiftyEnqueues => None,
-        Workload::BatchPairs(k) => Some(k.max(1)),
-        _ => panic!("Table 2 is defined on the 50%-enqueues benchmark"),
-    };
     let mut config = Config::default().with_patience(patience);
     if let Some(c) = cfg.segment_ceiling {
         config = config.with_segment_ceiling(c);
     }
     let q = RawQueue::<1024>::with_config(config);
+    drive(&q, cfg)
+}
+
+/// Runs the same Table 2 workload on any [`BenchQueue`] backend and
+/// reports the path breakdown from its `stats()` counters. The WF queue's
+/// patience knob has no trait-level equivalent — for a custom patience use
+/// [`run_breakdown`]; backends with their own knobs (e.g. wCQ's patience)
+/// run at their defaults here.
+pub fn run_breakdown_on<Q: BenchQueue>(cfg: &BenchConfig) -> Breakdown {
+    let q = Q::with_ceiling(cfg.segment_ceiling);
+    drive(&q, cfg)
+}
+
+fn drive<Q: BenchQueue>(q: &Q, cfg: &BenchConfig) -> Breakdown {
+    let batch = match cfg.workload {
+        Workload::FiftyEnqueues => None,
+        Workload::BatchPairs(k) => Some(k.max(1)),
+        _ => panic!("Table 2 is defined on the 50%-enqueues benchmark"),
+    };
     let delay = SpinDelay::calibrate();
     let threads = cfg.threads.max(1);
     let per_thread = (cfg.total_ops / threads as u64).max(1);
@@ -180,6 +195,28 @@ mod tests {
             b.stats
         );
         assert!(b.pct_empty_deq >= 0.0 && b.pct_empty_deq <= 100.0);
+    }
+
+    #[test]
+    fn generic_breakdown_counts_ring_backends() {
+        // The ring backends count empty probes in `deq_empty`, disjoint
+        // from the completed-dequeue counters (the workload stays far
+        // below capacity, so no enqueue rejections here).
+        let b = run_breakdown_on::<wfq_baselines::Scq>(&tiny(2));
+        assert_eq!(
+            b.stats.enqueues() + b.stats.dequeues() + b.stats.deq_empty,
+            40_000,
+            "SCQ breakdown lost operations: {:?}",
+            b.stats
+        );
+        assert_eq!(b.pct_slow_enq, 0.0, "SCQ has no slow path");
+        let w = run_breakdown_on::<wfq_baselines::Wcq>(&tiny(2));
+        assert_eq!(
+            w.stats.enqueues() + w.stats.dequeues() + w.stats.deq_empty,
+            40_000,
+            "wCQ breakdown lost operations: {:?}",
+            w.stats
+        );
     }
 
     #[test]

@@ -122,7 +122,7 @@ fn main() {
             r.stalled
         );
     });
-    let q = RawQueue::new();
+    let q: RawQueue = RawQueue::new();
     let wf = run_with_disturbance(&q, hold);
     report("WF-10", &wf);
     let stalls = dog.stop();

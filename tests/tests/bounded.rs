@@ -268,6 +268,76 @@ fn bounded_gauges_flow_through_the_metrics_exposition() {
     assert!(out.contains("wfq_enq_rejected_total 0\n"), "{out}");
 }
 
+// ---------------------------------------------------------------------
+// Bounded-mode parity for the fixed-capacity ring backends: a full SCQ
+// or wCQ ring must answer `try_enqueue` with the same typed `Full` the
+// segment-ceiling queue uses, reject without losing or corrupting any
+// accepted value, and recover completely once the backlog drains.
+// ---------------------------------------------------------------------
+
+mod ring_parity {
+    use wfq_baselines::{BenchQueue, QueueHandle, Scq, Wcq};
+    use wfqueue::Full;
+
+    const ORDER: u32 = 3; // ring capacity 2^3 = 8
+
+    fn full_ring_parity<Q: BenchQueue>(q: Q, capacity: u64) {
+        let mut h = q.register();
+        for v in 1..=capacity {
+            h.try_enqueue(v).expect("rejected below capacity");
+        }
+        // Full: typed rejection, repeatable, and the ring is untouched.
+        assert_eq!(h.try_enqueue(capacity + 1), Err(Full(())));
+        assert_eq!(h.try_enqueue(capacity + 2), Err(Full(())));
+
+        // The default batch fallback stops at the first Full with the
+        // accepted prefix enqueued (documented prefix-on-Full contract) —
+        // on an already-full ring that prefix is empty.
+        let batch: Vec<u64> = (100..100 + capacity).collect();
+        assert_eq!(h.try_enqueue_batch(&batch), Err(Full(())));
+
+        // Nothing lost, nothing invented, FIFO intact.
+        for v in 1..=capacity {
+            assert_eq!(h.dequeue(), Some(v), "{} corrupted under Full", Q::NAME);
+        }
+        assert_eq!(h.dequeue(), None, "{} leaked a rejected value", Q::NAME);
+
+        // Full recovery: the whole capacity is available again.
+        for v in 1..=capacity {
+            h.try_enqueue(v + 50).expect("capacity not recovered");
+        }
+        assert_eq!(h.try_enqueue(999), Err(Full(())));
+        for v in 1..=capacity {
+            assert_eq!(h.dequeue(), Some(v + 50));
+        }
+        drop(h); // handle-local counters flush on drop
+        assert!(q.stats().enq_rejected >= 4, "{:?}", q.stats());
+    }
+
+    #[test]
+    fn scq_full_ring_matches_bounded_contract() {
+        assert!(<Scq as BenchQueue>::FIXED_CAPACITY);
+        let q = Scq::with_order(ORDER);
+        full_ring_parity(q, 1 << ORDER);
+    }
+
+    #[test]
+    fn wcq_full_ring_matches_bounded_contract() {
+        assert!(<Wcq as BenchQueue>::FIXED_CAPACITY);
+        // Patience 0: the rejection decision must hold on the slow path
+        // too (the helping records never manufacture capacity).
+        let q = Wcq::with_params(ORDER, 0);
+        full_ring_parity(q, 1 << ORDER);
+    }
+
+    #[test]
+    fn unbounded_backends_advertise_no_fixed_capacity() {
+        assert!(!<wfqueue::RawQueue as BenchQueue>::FIXED_CAPACITY);
+        assert!(!<wfq_baselines::Wf0 as BenchQueue>::FIXED_CAPACITY);
+        assert!(!<wfq_baselines::MsQueue as BenchQueue>::FIXED_CAPACITY);
+    }
+}
+
 /// The acceptance soak (ISSUE 3): with ceiling S and one thread
 /// fault-injected to park *while holding a hazard on segment 0*, the
 /// queue must degrade — live segments never exceed S, `try_enqueue`

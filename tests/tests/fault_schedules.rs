@@ -35,7 +35,7 @@ fn injection_layer_matches_build_mode() {
 
 #[cfg(feature = "fault-injection")]
 mod fuzz {
-    use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
     use std::sync::{Arc, Condvar, Mutex};
 
     use wfq_checker::{check_linearizable, check_necessary, CheckResult, OpKind, Recorder};
@@ -465,6 +465,334 @@ mod fuzz {
         assert!(agg.segs_freed > 0, "reclamation never freed: {agg:?}");
     }
 
+    // ------------------------------------------------------------------
+    // Shape 7: the bounded-ring backends (SCQ / wCQ) under the same
+    // seeded fault plans, every history certified — plus deterministic
+    // drivers for the ring injection points so the coverage assert never
+    // depends on a race going one way.
+    // ------------------------------------------------------------------
+
+    /// One fuzzed ring schedule, generic over any [`BenchQueue`] backend:
+    /// producers and consumers hammer `q` under per-thread plans, the
+    /// recorded history is certified (necessary conditions always; the
+    /// exhaustive search up to its state cap).
+    fn run_ring_schedule<Q: wfq_baselines::BenchQueue>(
+        seed: u64,
+        q: Q,
+        producers: u64,
+        consumers: u64,
+    ) {
+        use wfq_baselines::QueueHandle as _;
+        let rec = Recorder::new();
+        // Consumers drain until every produced value is delivered — a fixed
+        // attempt budget could exit while a producer is still blocked on a
+        // full capacity-16 ring, leaving its blocking enqueue spinning
+        // forever. The spin caps turn a genuine liveness bug (or a lost
+        // value) into a seed-stamped panic on every thread instead of a
+        // hung test: whoever trips a cap raises `abort`, and the others
+        // bail out so the scope can join and surface the panic.
+        let target = producers * VALS_PER_THREAD;
+        let delivered = AtomicU64::new(0);
+        let abort = AtomicBool::new(false);
+        const SPIN_CAP: u64 = 5_000_000;
+        std::thread::scope(|s| {
+            for t in 0..producers {
+                let q = &q;
+                let abort = &abort;
+                let mut tr = rec.thread();
+                s.spawn(move || {
+                    fault::with_plan(thread_plan(seed, t, 70), || {
+                        let mut h = q.register();
+                        for k in 0..VALS_PER_THREAD {
+                            let v = t * VALS_PER_THREAD + k + 1;
+                            let inv = tr.invoke();
+                            let mut spins = 0u64;
+                            while h.try_enqueue(v).is_err() {
+                                if abort.load(Ordering::Relaxed) {
+                                    return;
+                                }
+                                spins += 1;
+                                if spins > SPIN_CAP {
+                                    abort.store(true, Ordering::Relaxed);
+                                    panic!(
+                                        "{}: producer {t} starved on a full ring \
+                                         (seed {seed}): consumers are not draining",
+                                        Q::NAME
+                                    );
+                                }
+                                std::thread::yield_now();
+                            }
+                            tr.record(OpKind::Enqueue(v), inv);
+                        }
+                    });
+                });
+            }
+            for t in 0..consumers {
+                let q = &q;
+                let (delivered, abort) = (&delivered, &abort);
+                let mut tr = rec.thread();
+                s.spawn(move || {
+                    fault::with_plan(thread_plan(seed, producers + t, 70), || {
+                        let mut h = q.register();
+                        // Bound the *recorded* empty probes: dropping a
+                        // Dequeue(None) from a history only removes a
+                        // constraint, and unbounded recording would bloat
+                        // the exhaustive search for no extra signal.
+                        let mut none_budget = 64u64;
+                        let mut attempts = 0u64;
+                        while delivered.load(Ordering::Relaxed) < target {
+                            if abort.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            attempts += 1;
+                            if attempts > SPIN_CAP {
+                                abort.store(true, Ordering::Relaxed);
+                                panic!(
+                                    "{}: consumer starved with {}/{target} values \
+                                     delivered (seed {seed}): values were lost",
+                                    Q::NAME,
+                                    delivered.load(Ordering::Relaxed)
+                                );
+                            }
+                            let inv = tr.invoke();
+                            let got = h.dequeue();
+                            match got {
+                                Some(_) => {
+                                    tr.record(OpKind::Dequeue(got), inv);
+                                    delivered.fetch_add(1, Ordering::Relaxed);
+                                }
+                                None => {
+                                    if none_budget > 0 {
+                                        none_budget -= 1;
+                                        tr.record(OpKind::Dequeue(None), inv);
+                                    }
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    });
+                });
+            }
+        });
+        let h = rec.finish();
+        if let Err(v) = check_necessary(&h) {
+            panic!(
+                "{}: necessary-condition violation under ring schedule: {v:?}\n\
+                 reproduce: WFQ_RING_SEED={seed} cargo test -p wfq-integration \
+                 --features fault-injection ring_backend_sweep{}",
+                Q::NAME,
+                failure_artifact(seed)
+            );
+        }
+        if let CheckResult::NotLinearizable = check_linearizable(&h, 4_000_000) {
+            panic!(
+                "{}: history not linearizable under ring schedule\n\
+                 reproduce: WFQ_RING_SEED={seed} cargo test -p wfq-integration \
+                 --features fault-injection ring_backend_sweep{}",
+                Q::NAME,
+                failure_artifact(seed)
+            );
+        }
+    }
+
+    /// Ring schedule shapes: tiny rings (order 4 → capacity 16, under 24
+    /// values in flight) force cycle wraps, full-ring spins and threshold
+    /// churn; the patience-0 wCQ shape routes *every* operation through
+    /// the helping records.
+    fn ring_schedule(seed: u64) {
+        use wfq_baselines::{Scq, Wcq};
+        match seed % 3 {
+            0 => run_ring_schedule(seed, Scq::with_order(4), 2, 3),
+            1 => run_ring_schedule(seed, Wcq::with_params(4, 2), 2, 3),
+            _ => run_ring_schedule(seed, Wcq::with_params(4, 0), 3, 2),
+        }
+    }
+
+    /// Shape 7 of the sweep (the ring backends), with the same seed count
+    /// as the WF sweep so a CI run certifies SCQ/wCQ under 48 schedules.
+    #[test]
+    fn ring_backend_sweep_certifies_histories_and_covers_ring_points() {
+        if let Ok(s) = std::env::var("WFQ_RING_SEED") {
+            let seed: u64 = s.parse().expect("WFQ_RING_SEED must be a u64");
+            ring_schedule(seed);
+            return;
+        }
+        for seed in 0..SWEEP_SEEDS {
+            ring_schedule(seed);
+        }
+        drive_ring_points();
+        let cov = fault::coverage();
+        let missed: Vec<&str> = wfq_baselines::FAULT_POINTS
+            .iter()
+            .copied()
+            .filter(|p| p.starts_with("scq::") || p.starts_with("wcq::"))
+            .filter(|p| cov.get(p).copied().unwrap_or(0) == 0)
+            .collect();
+        assert!(
+            missed.is_empty(),
+            "ring sweep never reached injection points {missed:?}; \
+             coverage: {cov:#?}"
+        );
+    }
+
+    /// Deterministic drivers for every `scq::`/`wcq::` injection point.
+    /// Each window is staged so reaching it needs no lost race:
+    ///
+    /// - the SCQ happy paths (`pre_cas`, `threshold_reset`, `pre_consume`)
+    ///   fire on any enqueue/dequeue pair;
+    /// - `slot_advance` + `catchup` fire on the first empty probe after a
+    ///   consume (head's slot holds an old-cycle ⊥, tail has caught up);
+    /// - `threshold_decrement` needs `tail > head + 1` at a failed ticket:
+    ///   an enqueuer parked at `scq::enq::pre_cas` (ticket claimed, value
+    ///   not yet installed) while a second enqueue lands behind it makes
+    ///   the next dequeue's first ticket fail exactly there;
+    /// - the wCQ slow-path points all fire single-threadedly at patience
+    ///   0 (publish → owner-help → install → finalize; the dequeue side
+    ///   re-marks the entry via `consume_mark`);
+    /// - `wcq::help::takeover` parks the *owner* between installing its
+    ///   entry and finalizing its record (`wcq::enq_slow::finalize`), so
+    ///   the consumer must finish the record before consuming.
+    fn drive_ring_points() {
+        use wfq_baselines::{BenchQueue as _, QueueHandle as _, Scq, Wcq};
+
+        // SCQ happy paths + certified-empty probe.
+        let q = Scq::with_order(3);
+        let mut h = q.register();
+        h.enqueue(1); // pre_cas, threshold_reset
+        assert_eq!(h.dequeue(), Some(1)); // pre_consume
+        assert_eq!(h.dequeue(), None); // slot_advance (kill) + catchup
+        assert!(fault::coverage_count("scq::enq::pre_cas") > 0);
+        assert!(fault::coverage_count("scq::enq::threshold_reset") > 0);
+        assert!(fault::coverage_count("scq::deq::pre_consume") > 0);
+        assert!(fault::coverage_count("scq::deq::slot_advance") > 0);
+        assert!(fault::coverage_count("scq::deq::catchup") > 0);
+
+        // SCQ threshold_decrement: park enqueuer A after its FAA claimed
+        // the aq ticket but before the value-install CAS; a second enqueue
+        // then lands behind the hole, and the next dequeue's first ticket
+        // finds an empty slot with tail > head + 1.
+        let q = Scq::with_order(3);
+        let parked = Arc::new(Event::default());
+        let release = Arc::new(Event::default());
+        // Outcomes are captured inside the scope and asserted only after
+        // it: a panic before `release.set()` would deadlock on joining the
+        // parked thread.
+        let mut got = None;
+        let mut decremented = false;
+        std::thread::scope(|s| {
+            {
+                let q = &q;
+                let (parked, release) = (Arc::clone(&parked), Arc::clone(&release));
+                s.spawn(move || {
+                    let mut a = q.register();
+                    let p = Arc::clone(&parked);
+                    let r = Arc::clone(&release);
+                    fault::with_plan(
+                        FaultPlan::new().hook_at(
+                            "scq::enq::pre_cas",
+                            0,
+                            Arc::new(move |_| {
+                                p.set();
+                                r.wait();
+                            }),
+                        ),
+                        || a.enqueue(11),
+                    );
+                });
+            }
+            parked.wait();
+            let mut b = q.register();
+            b.enqueue(22);
+            let before = fault::coverage_count("scq::deq::threshold_decrement");
+            got = b.dequeue();
+            decremented = fault::coverage_count("scq::deq::threshold_decrement") > before;
+            release.set();
+        });
+        assert_eq!(got, Some(22), "the hole must be skipped");
+        assert!(
+            decremented,
+            "skipping a claimed-but-empty ticket must decrement the threshold"
+        );
+        // A's install lands on a later ticket; nothing is lost.
+        let mut h = q.register();
+        assert_eq!(h.dequeue(), Some(11));
+
+        // wCQ slow paths, single-threaded at patience 0.
+        let q = Wcq::with_params(3, 0);
+        let mut h = q.register();
+        h.enqueue(5); // enq_slow: published, install, finalize
+        assert_eq!(h.dequeue(), Some(5)); // deq_slow: published, consume_mark, finalize
+        assert_eq!(h.dequeue(), None);
+        assert!(fault::coverage_count("wcq::enq_slow::published") > 0);
+        assert!(fault::coverage_count("wcq::enq_slow::install") > 0);
+        assert!(fault::coverage_count("wcq::enq_slow::finalize") > 0);
+        assert!(fault::coverage_count("wcq::deq_slow::published") > 0);
+        assert!(fault::coverage_count("wcq::deq_slow::consume_mark") > 0);
+        assert!(fault::coverage_count("wcq::deq_slow::finalize") > 0);
+        drop(h);
+
+        // wCQ takeover: owner A parks between installing its SLOW_ENQ
+        // entry and finalizing its record; consumer B must finalize A's
+        // record (the takeover) before it may consume the value.
+        //
+        // Staging details that make this race-free:
+        // - B slow-enqueues a sentinel *first*, so the threshold is reset
+        //   and B's dequeues are not turned away by the certified-empty
+        //   fast path (A parks before its own `reset_threshold`).
+        // - A registers first (tid 0) and B second (tid 1): B's help
+        //   cursor starts at its own tid and only walks peers 2, 3, 4 in
+        //   the three operations below, so B's round-robin `maybe_help`
+        //   cannot finalize A's record early — only the consume path
+        //   (`resolve_slow_enq`, the takeover) can.
+        // - Outcomes are asserted after the scope (a panic before
+        //   `release.set()` would deadlock on joining the parked thread).
+        let q = Wcq::with_params(3, 0);
+        let parked = Arc::new(Event::default());
+        let release = Arc::new(Event::default());
+        let mut first = None;
+        let mut second = None;
+        let mut takeover_fired = false;
+        std::thread::scope(|s| {
+            let mut a = q.register(); // tid 0
+            let mut b = q.register(); // tid 1
+            b.enqueue(7); // ticket 0; resets the threshold
+            {
+                let (parked, release) = (Arc::clone(&parked), Arc::clone(&release));
+                s.spawn(move || {
+                    let p = Arc::clone(&parked);
+                    let r = Arc::clone(&release);
+                    fault::with_plan(
+                        FaultPlan::new().hook_at(
+                            "wcq::enq_slow::finalize",
+                            0,
+                            Arc::new(move |_| {
+                                p.set();
+                                r.wait();
+                            }),
+                        ),
+                        || a.enqueue(42), // ticket 1, parked after install
+                    );
+                });
+            }
+            parked.wait();
+            let before = fault::coverage_count("wcq::help::takeover");
+            first = b.dequeue(); // drains the sentinel at ticket 0
+            second = b.dequeue(); // hits A's pending entry at ticket 1
+            takeover_fired = fault::coverage_count("wcq::help::takeover") > before;
+            release.set();
+        });
+        assert_eq!(first, Some(7), "the sentinel must come out first (FIFO)");
+        assert_eq!(
+            second,
+            Some(42),
+            "consumer must take over the parked enqueue and get its value"
+        );
+        assert!(
+            takeover_fired,
+            "consuming a pending slow enqueue must finalize its record first"
+        );
+    }
+
     /// Baselines ride the same machinery: fuzz the LCRQ and MS-Queue
     /// hazard-pointer windows, check conservation, assert their exported
     /// point list is fully covered.
@@ -516,7 +844,15 @@ mod fuzz {
             // drained-ring unlink on the dequeue side).
             drive(&Lcrq::with_ring_order(3), seed);
             drive(&MsQueue::new(), seed);
+            // The bounded-ring backends share the conservation check; the
+            // tiny orders force cycle wraps and full-ring spins.
+            drive(&wfq_baselines::Scq::with_order(4), seed);
+            drive(&wfq_baselines::Wcq::with_params(4, 1), seed);
         }
+        // The coverage assert below spans every baseline point, so it must
+        // not depend on `ring_backend_sweep_*` having run first in this
+        // process: stage the race-free ring windows here too.
+        drive_ring_points();
 
         let cov = fault::coverage();
         let missed: Vec<&str> = wfq_baselines::FAULT_POINTS
