@@ -65,7 +65,7 @@ pub use wfqueue::{BackendHandle as QueueHandle, QueueBackend as BenchQueue};
 
 mod wf_impl {
     use super::{BenchQueue, QueueHandle};
-    use wfqueue::{Config, Full, Gauges, Handle, QueueStats, RawQueue};
+    use wfqueue::{Config, Full, Gauges, Handle, OpSample, QueueStats, RawQueue};
 
     /// Newtype selecting the paper's WF-0 configuration (patience 0).
     pub struct Wf0(pub RawQueue);
@@ -97,6 +97,10 @@ mod wf_impl {
         #[inline]
         fn dequeue_batch(&mut self, out: &mut Vec<u64>, max: usize) -> usize {
             self.0.dequeue_batch(out, max)
+        }
+        #[inline]
+        fn last_op_sample(&self) -> Option<OpSample> {
+            Handle::last_op_sample(&self.0)
         }
     }
 

@@ -62,11 +62,22 @@ fn main() {
     let threads = args.num("threads", (topology::num_cpus() * 2).max(4) as u64) as usize;
     let ops = args.num("ops", 400_000);
     let pin = !args.flag("no-pin");
+    let hw = topology::num_cpus();
     println!(
         "Per-operation latency, pairs workload, {threads} threads, {ops} ops \
-         ({} hardware threads)\n",
-        topology::num_cpus()
+         ({hw} hardware thread{})",
+        if hw == 1 { "" } else { "s" }
     );
+    if threads > hw {
+        println!(
+            "warning: oversubscribed — {threads} software threads share {hw} hardware \
+             thread{}; tails below include scheduler delay, and this closed loop \
+             also coordinates omission (see latency_observatory for the open-loop \
+             measurement)",
+            if hw == 1 { "" } else { "s" }
+        );
+    }
+    println!();
     println!("| queue | p50 | p99 | p99.9 | max |");
     println!("|---|---|---|---|---|");
     macro_rules! row {

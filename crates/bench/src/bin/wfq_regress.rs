@@ -13,9 +13,14 @@
 //! wfq-regress --baseline results/BENCH_pairwise.json \
 //!             --candidate /tmp/head.json [--threshold 5]
 //!
+//! # latency gate: p99 on the (queue, rate) key, same CI machinery,
+//! # polarity flipped (higher is worse), default threshold 10%
+//! wfq-regress --latency --baseline results/BENCH_latency.json \
+//!             --candidate /tmp/head_latency.json [--threshold 10]
+//!
 //! # record: append a normalized one-line snapshot to the perf trajectory
 //! wfq-regress --record /tmp/head.json [--out results/trajectory.jsonl] \
-//!             [--commit SHA]
+//!             [--commit SHA]           # add --latency for latency snapshots
 //! ```
 //!
 //! `--record` normalizes the snapshot (stable key order, fixed-precision
@@ -28,13 +33,16 @@
 use std::process::ExitCode;
 
 use wfq_bench::Args;
-use wfq_harness::regress::{compare, parse_snapshot, trajectory_line};
+use wfq_harness::regress::{
+    compare, compare_latency, latency_trajectory_line, parse_latency_snapshot, parse_snapshot,
+    trajectory_line,
+};
 
 fn die(msg: &str) -> ExitCode {
     eprintln!("wfq-regress: {msg}");
     eprintln!(
-        "usage: wfq-regress --baseline BASE.json --candidate CAND.json [--threshold PCT]\n\
-                wfq-regress --record SNAP.json [--out results/trajectory.jsonl] [--commit SHA]"
+        "usage: wfq-regress [--latency] --baseline BASE.json --candidate CAND.json [--threshold PCT]\n\
+                wfq-regress [--latency] --record SNAP.json [--out results/trajectory.jsonl] [--commit SHA]"
     );
     ExitCode::from(2)
 }
@@ -45,8 +53,106 @@ fn load(path: &str) -> Result<wfq_harness::regress::Snapshot, String> {
     parse_snapshot(&doc).map_err(|e| format!("{path}: {e}"))
 }
 
+fn load_latency(path: &str) -> Result<wfq_harness::regress::LatencySnapshot, String> {
+    let doc =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_latency_snapshot(&doc).map_err(|e| format!("{path}: {e}"))
+}
+
+fn append_line(out: &str, line: &str) -> Result<(), String> {
+    let mut body = std::fs::read_to_string(out).unwrap_or_default();
+    if !body.is_empty() && !body.ends_with('\n') {
+        body.push('\n');
+    }
+    body.push_str(line);
+    body.push('\n');
+    std::fs::write(out, body).map_err(|e| format!("cannot write {out}: {e}"))
+}
+
+/// The `--latency` paths: p99 gate (default threshold 10%) and latency
+/// trajectory recording, on the snapshots of `latency_observatory --json`.
+fn latency_main(args: &Args) -> ExitCode {
+    if let Some(snap_path) = args.get("record") {
+        let mut snap = match load_latency(snap_path) {
+            Ok(s) => s,
+            Err(e) => return die(&e),
+        };
+        if let Some(c) = args.get("commit") {
+            snap.commit = Some(c.to_string());
+        }
+        let out = args.get("out").unwrap_or("results/trajectory.jsonl");
+        if let Err(e) = append_line(out, &latency_trajectory_line(&snap)) {
+            return die(&e);
+        }
+        eprintln!(
+            "wfq-regress: recorded {} / {} / {} ({} series) to {out}",
+            snap.benchmark,
+            snap.workload,
+            snap.schedule,
+            snap.series.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let (Some(base_path), Some(cand_path)) = (args.get("baseline"), args.get("candidate"))
+    else {
+        return die("need --baseline and --candidate (or --record)");
+    };
+    // Quantiles are noisier than means: the latency gate's default
+    // threshold is 10%, vs 5% for throughput.
+    let threshold = args
+        .get("threshold")
+        .map(|t| t.parse::<f64>())
+        .transpose()
+        .unwrap_or(None)
+        .unwrap_or(10.0);
+    let base = match load_latency(base_path) {
+        Ok(s) => s,
+        Err(e) => return die(&e),
+    };
+    let cand = match load_latency(cand_path) {
+        Ok(s) => s,
+        Err(e) => return die(&e),
+    };
+    if base.schedule != cand.schedule || base.threads != cand.threads {
+        eprintln!(
+            "wfq-regress: warning: comparing different configurations ({}/{} threads vs {}/{} threads)",
+            base.schedule, base.threads, cand.schedule, cand.threads
+        );
+    }
+
+    let cmp = compare_latency(&base, &cand, threshold);
+    println!(
+        "wfq-regress: {} / {} p99 — baseline {} vs candidate {} (threshold {threshold}%)",
+        base.benchmark,
+        base.schedule,
+        base.commit.as_deref().unwrap_or("?"),
+        cand.commit.as_deref().unwrap_or("?"),
+    );
+    print!("{}", cmp.render());
+    let regressions = cmp.regressions();
+    if regressions.is_empty() {
+        println!(
+            "PASS: no significant p99 regression past {threshold}% across {} points",
+            cmp.deltas.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "FAIL: {} of {} points regressed (significant p99 inflation > {threshold}% or saturation onset)",
+            regressions.len(),
+            cmp.deltas.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args = Args::parse();
+
+    if args.flag("latency") {
+        return latency_main(&args);
+    }
 
     if let Some(snap_path) = args.get("record") {
         let mut snap = match load(snap_path) {
@@ -57,18 +163,8 @@ fn main() -> ExitCode {
             snap.commit = Some(c.to_string());
         }
         let out = args.get("out").unwrap_or("results/trajectory.jsonl");
-        let line = trajectory_line(&snap);
-        let mut body = match std::fs::read_to_string(out) {
-            Ok(existing) => existing,
-            Err(_) => String::new(),
-        };
-        if !body.is_empty() && !body.ends_with('\n') {
-            body.push('\n');
-        }
-        body.push_str(&line);
-        body.push('\n');
-        if let Err(e) = std::fs::write(out, body) {
-            return die(&format!("cannot write {out}: {e}"));
+        if let Err(e) = append_line(out, &trajectory_line(&snap)) {
+            return die(&e);
         }
         eprintln!(
             "wfq-regress: recorded {} / {} ({} series) to {out}",

@@ -24,7 +24,7 @@
 //! state (peer cursors, hazard mirrors, stat counters) that must not be
 //! shared; the queue itself is the `Sync` object.
 
-use crate::{Full, Gauges, QueueStats};
+use crate::{Full, Gauges, OpSample, QueueStats};
 
 /// A per-thread handle through which a queue backend is operated.
 pub trait BackendHandle: Send {
@@ -83,6 +83,15 @@ pub trait BackendHandle: Send {
             }
         }
         got
+    }
+
+    /// Execution-path sample of this handle's most recent single-value
+    /// operation, for latency attribution (`wfq_harness::attribution`).
+    /// The default reports `None` — correct for every backend without
+    /// per-op path instrumentation; the wait-free queue overrides it when
+    /// built with the `op-sample` feature.
+    fn last_op_sample(&self) -> Option<OpSample> {
+        None
     }
 }
 
@@ -154,12 +163,16 @@ pub trait QueueBackend: Send + Sync + Sized {
 
 mod wf_impl {
     use super::{BackendHandle, QueueBackend};
-    use crate::{Config, Full, Gauges, Handle, QueueStats, RawQueue};
+    use crate::{Config, Full, Gauges, Handle, OpSample, QueueStats, RawQueue};
 
     impl<const N: usize> BackendHandle for Handle<'_, N> {
         #[inline]
         fn enqueue(&mut self, v: u64) {
             Handle::enqueue(self, v);
+        }
+        #[inline]
+        fn last_op_sample(&self) -> Option<OpSample> {
+            Handle::last_op_sample(self)
         }
         #[inline]
         fn dequeue(&mut self) -> Option<u64> {

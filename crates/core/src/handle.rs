@@ -72,6 +72,12 @@ pub(crate) struct HandleNode<const N: usize> {
     pub spare: AtomicPtr<Segment<N>>,
     /// Path counters (Table 2).
     pub stats: HandleStats,
+    /// Execution-path sample of the owner's most recent single-value
+    /// operation (feature `op-sample`; see `crate::sample`). A plain
+    /// `Cell` is sound here even though nodes are shared: only the owning
+    /// thread ever touches this field, and nothing else is derived from it.
+    #[cfg(feature = "op-sample")]
+    pub last_sample: core::cell::Cell<Option<crate::sample::OpSample>>,
 }
 
 impl<const N: usize> HandleNode<N> {
@@ -93,6 +99,8 @@ impl<const N: usize> HandleNode<N> {
             active: AtomicBool::new(true),
             spare: AtomicPtr::new(core::ptr::null_mut()),
             stats: HandleStats::default(),
+            #[cfg(feature = "op-sample")]
+            last_sample: core::cell::Cell::new(None),
         }));
         // Self-loops until spliced into the ring.
         // SAFETY: `node` was just allocated and is exclusively owned.

@@ -76,6 +76,7 @@ mod pool;
 mod raw;
 mod reclaim;
 mod request;
+mod sample;
 mod segment;
 mod stats;
 mod typed;
@@ -85,6 +86,7 @@ pub use config::Config;
 pub use full::Full;
 pub use owned::{OwnedHandle, OwnedLocalHandle};
 pub use raw::{Handle, RawQueue};
+pub use sample::{OpPath, OpSample, OpSide, SAMPLING_ENABLED};
 pub use stats::{Gauges, QueueStats};
 pub use typed::{LocalHandle, WfQueue};
 

@@ -27,9 +27,19 @@ use crate::handle::{HandleNode, Registry, NO_HAZARD};
 use crate::pack::ReqState;
 use crate::pool::SegmentPool;
 use crate::request::DeqReq;
+use crate::sample::{op_sample, OpPath, OpSample};
 use crate::segment::{find_cell, SegSource, Segment};
 use crate::stats::{Gauges, HandleStats, QueueStats};
 use crate::DEFAULT_SEGMENT_SIZE;
+
+// Zero-overhead guard (the mirror of `wfq_obs::_ZERO_OVERHEAD_PROOF`):
+// with `op-sample` off the sampling hook must expand to a constant
+// expression — no store, no argument evaluation — so the instrumented
+// operation epilogues carry no trace of the sampler. The runtime twin is
+// the `op_sample_overhead` group of the `primitives` bench.
+#[cfg(not(feature = "op-sample"))]
+const _OP_SAMPLE_ZERO_OVERHEAD_PROOF: () =
+    op_sample!(no_node, OpSide::Enq, OpPath::Fast, 0u64);
 
 /// Result of `help_enq` (paper Listing 3, lines 90–127): the cell either
 /// yields a value, is permanently unusable (⊤), or witnesses emptiness.
@@ -175,7 +185,13 @@ impl<const N: usize> RawQueue<N> {
         let mut reg = self.registry.lock().unwrap();
         if let Some(node) = reg.free.pop() {
             // SAFETY: pooled nodes stay valid for the queue's lifetime.
-            unsafe { (*node).active.store(true, Ordering::Relaxed) };
+            unsafe {
+                (*node).active.store(true, Ordering::Relaxed);
+                // A recycled node must not leak the previous owner's
+                // execution-path sample to the new handle.
+                #[cfg(feature = "op-sample")]
+                (*node).last_sample.set(None);
+            }
             self.active_count.fetch_add(1, Ordering::Relaxed);
             return node;
         }
@@ -346,6 +362,7 @@ impl<const N: usize> RawQueue<N> {
         let last_index = if done {
             HandleStats::bump(&h.stats.enq_fast);
             wfq_obs::record!(wfq_obs::EventKind::EnqFast, cell_id);
+            op_sample!(h, crate::sample::OpSide::Enq, OpPath::Fast, cell_id);
             cell_id
         } else {
             let claimed = self.enq_slow(h, v, cell_id);
@@ -416,6 +433,7 @@ impl<const N: usize> RawQueue<N> {
         // Line 75: traverse with a local tail pointer because the commit
         // below may need to revisit an *earlier* cell.
         let tmp_tail = AtomicPtr::new(h.tail.load(Ordering::Acquire));
+        let mut path = OpPath::Slow;
         loop {
             // Line 78.
             let i = self.tail_index.fetch_add(1, Ordering::SeqCst);
@@ -432,11 +450,14 @@ impl<const N: usize> RawQueue<N> {
             }
             // Line 85.
             if !r.state().pending {
-                // A helper finished the request before any reservation of
-                // ours stuck — the helping scheme's raison d'être.
-                HandleStats::bump(&h.stats.enq_slow_helped);
+                path = OpPath::Helped;
                 break;
             }
+        }
+        if matches!(path, OpPath::Helped) {
+            // A helper finished the request before any reservation of
+            // ours stuck — the helping scheme's raison d'être.
+            HandleStats::bump(&h.stats.enq_slow_helped);
         }
 
         // Lines 87–88: request is claimed for some cell; find it and commit.
@@ -446,6 +467,7 @@ impl<const N: usize> RawQueue<N> {
         let c = unsafe { &*find_cell(&h.tail, id, &self.src(h)) };
         self.enq_commit(c, v, id);
         wfq_obs::record!(wfq_obs::EventKind::EnqSlowExit, id, cell_id);
+        op_sample!(h, crate::sample::OpSide::Enq, path, cell_id);
         id
     }
 
@@ -584,6 +606,7 @@ impl<const N: usize> RawQueue<N> {
             HandleStats::bump(&h.stats.deq_fast);
             HandleStats::bump(&h.stats.deq_empty);
             wfq_obs::record!(wfq_obs::EventKind::DeqEmpty, h_idx);
+            op_sample!(h, crate::sample::OpSide::Deq, OpPath::Fast, h_idx);
             h.clear_hazard();
             return None;
         }
@@ -616,6 +639,7 @@ impl<const N: usize> RawQueue<N> {
                 if r.is_some() {
                     wfq_obs::record!(wfq_obs::EventKind::DeqFast, last_index);
                 }
+                op_sample!(h, crate::sample::OpSide::Deq, OpPath::Fast, last_index);
                 r
             }
             None => {
@@ -683,6 +707,11 @@ impl<const N: usize> RawQueue<N> {
         let v = c.load_val();
         advance_index(&self.head_index, i + 1);
         wfq_obs::record!(wfq_obs::EventKind::DeqSlowExit, i, cid);
+        // Slow dequeues always report `Slow`: the requester helps itself
+        // through `help_deq` and cannot locally tell whether a peer
+        // finished the request first (see `crate::sample::OpPath` — the
+        // span join upgrades multi-hop episodes to Helped offline).
+        op_sample!(h, crate::sample::OpSide::Deq, OpPath::Slow, cid);
         if v == VAL_TOP {
             HandleStats::bump(&h.stats.deq_slow_empty);
             (None, i)
@@ -1174,6 +1203,24 @@ impl<const N: usize> Handle<'_, N> {
     #[inline]
     pub fn dequeue_batch(&mut self, out: &mut Vec<u64>, k: usize) -> usize {
         self.queue.dequeue_batch_internal(self.node(), out, k)
+    }
+
+    /// The execution-path sample of this handle's most recent
+    /// single-value operation ([`crate::sample`]): which protocol path it
+    /// took (fast / slow / helped) and the op id the PR-5 span taxonomy
+    /// keys on. `None` before the first operation, after batch operations
+    /// (which do not update the sample), and always in builds without the
+    /// `op-sample` feature — where this compiles to a constant.
+    #[inline]
+    pub fn last_op_sample(&self) -> Option<OpSample> {
+        #[cfg(feature = "op-sample")]
+        {
+            return self.node().last_sample.get();
+        }
+        #[cfg(not(feature = "op-sample"))]
+        {
+            None
+        }
     }
 
     /// The queue this handle is registered with.

@@ -100,6 +100,16 @@ impl Histogram {
         }
     }
 
+    /// Exact sum of all samples, ns (saturating; the Prometheus summary's
+    /// `_sum` companion to [`Histogram::count`]).
+    pub fn sum(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum
+        }
+    }
+
     /// Mean of all samples.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -308,6 +318,41 @@ mod tests {
         h.record(10);
         assert!(h.quantile(0.01) <= h.quantile(0.99));
         assert_eq!(h.min(), 10);
+    }
+
+    #[test]
+    fn sum_is_exact_and_merge_preserves_it() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        assert_eq!(a.sum(), 0);
+        a.record(100);
+        a.record(250);
+        b.record(50);
+        assert_eq!(a.sum(), 350);
+        a.merge(&b);
+        assert_eq!(a.sum(), 400);
+        assert_eq!(a.mean(), 400.0 / 3.0);
+    }
+
+    #[test]
+    fn merge_preserves_quantile_monotonicity() {
+        // Satellite check: after merging two skewed histograms, quantiles
+        // must still be nondecreasing in q.
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut rng = wfq_sync::XorShift64::new(9);
+        for _ in 0..5_000 {
+            a.record(rng.next_in(1, 1_000)); // low cluster
+            b.record(rng.next_in(1_000_000, 50_000_000)); // high cluster
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 10_000);
+        let mut prev = 0;
+        for i in 0..=1000 {
+            let q = a.quantile(i as f64 / 1000.0);
+            assert!(q >= prev, "q={} dropped: {q} < {prev}", i as f64 / 1000.0);
+            prev = q;
+        }
     }
 
     #[test]

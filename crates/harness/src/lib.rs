@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod breakdown;
 pub mod histogram;
 pub mod json;
@@ -33,10 +34,14 @@ pub mod stats;
 pub mod topology;
 pub mod workload;
 
-pub use measure::{measure_queue, Measurement};
-pub use obs::{dump_chrome_trace, render_prometheus, write_metrics};
-pub use report::{render_csv, render_json, render_markdown, Series, SeriesPoint};
-pub use workload::{BenchConfig, Workload};
+pub use attribution::{Attribution, OpClass};
+pub use measure::{measure_open_loop, measure_queue, Measurement, OpenLoopMeasurement};
+pub use obs::{dump_chrome_trace, render_latency_prometheus, render_prometheus, write_metrics};
+pub use report::{
+    render_csv, render_json, render_latency_json, render_markdown, LatencyPoint, LatencySeries,
+    Series, SeriesPoint,
+};
+pub use workload::{ArrivalSchedule, BenchConfig, OpenLoopConfig, Workload};
 
 use wfq_baselines::BenchQueue;
 

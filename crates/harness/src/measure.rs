@@ -1,10 +1,14 @@
-//! The invocation/iteration measurement protocol (Georges et al., §5.1).
+//! The invocation/iteration measurement protocol (Georges et al., §5.1),
+//! for both the paper's closed-loop throughput runs and the open-loop
+//! latency observatory (quantiles with Student-t CIs over invocations).
 
 use wfq_baselines::BenchQueue;
 use wfq_sync::delay::SpinDelay;
 
+use crate::attribution::Attribution;
+use crate::histogram::Histogram;
 use crate::stats;
-use crate::workload::{run_iteration, BenchConfig};
+use crate::workload::{run_iteration, run_open_loop_iteration, BenchConfig, OpenLoopConfig};
 
 /// Result of measuring one queue at one thread count.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +74,110 @@ pub fn measure_queue<Q: BenchQueue>(cfg: &BenchConfig) -> Measurement {
     }
 }
 
+// ----------------------------------------------------------------------
+// Open-loop measurement (latency observatory)
+// ----------------------------------------------------------------------
+
+/// One latency quantile with its Student-t 95% CI over invocations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantileStat {
+    /// Mean of the per-invocation quantile values, nanoseconds.
+    pub mean_ns: f64,
+    /// Half-width of the 95% confidence interval.
+    pub ci_half_ns: f64,
+}
+
+/// Result of measuring one backend at one offered rate in the open loop.
+#[derive(Debug, Clone)]
+pub struct OpenLoopMeasurement {
+    /// The offered (intended) aggregate arrival rate, ops/s.
+    pub offered_rate: f64,
+    /// Mean achieved completion rate over invocations, ops/s.
+    pub achieved_rate: f64,
+    /// p50 across invocations.
+    pub p50: QuantileStat,
+    /// p90 across invocations.
+    pub p90: QuantileStat,
+    /// p99 across invocations.
+    pub p99: QuantileStat,
+    /// p99.9 across invocations.
+    pub p999: QuantileStat,
+    /// Max across invocations.
+    pub max: QuantileStat,
+    /// All invocations' samples merged (Prometheus export, reports).
+    pub merged: Histogram,
+    /// Merged per-path attribution (empty without `op-sample` backends).
+    pub attribution: Attribution,
+    /// Whether a majority of invocations ended saturated (generator lag
+    /// above 10% of the intended span).
+    pub saturated: bool,
+    /// Total rejected enqueues across invocations (overload mode).
+    pub drops: u64,
+    /// Worst generator lag seen in any invocation, ns.
+    pub max_lag_ns: u64,
+    /// Mean end-of-run backlog (enqueues − dequeues delivered).
+    pub backlog: i64,
+}
+
+/// Open-loop protocol: `cfg.invocations` invocations against fresh
+/// queues; each invocation's histogram is reduced to its quantiles, and
+/// quantiles get a mean + Student-t 95% CI across invocations (the same
+/// machinery as the throughput protocol — a quantile estimate from one
+/// run is itself a noisy statistic).
+pub fn measure_open_loop<Q: BenchQueue>(cfg: &OpenLoopConfig) -> OpenLoopMeasurement {
+    let delay = SpinDelay::calibrate();
+    let n = cfg.invocations.max(1);
+    let mut q50 = Vec::with_capacity(n);
+    let mut q90 = Vec::with_capacity(n);
+    let mut q99 = Vec::with_capacity(n);
+    let mut q999 = Vec::with_capacity(n);
+    let mut qmax = Vec::with_capacity(n);
+    let mut rates = Vec::with_capacity(n);
+    let mut merged = Histogram::new();
+    let mut attribution = Attribution::new();
+    let mut saturated_runs = 0usize;
+    let (mut drops, mut max_lag) = (0u64, 0u64);
+    let mut backlogs = 0i64;
+    for inv in 0..n {
+        let q = Q::with_ceiling(cfg.segment_ceiling);
+        let it = run_open_loop_iteration(&q, cfg, &delay, inv as u64);
+        q50.push(it.latency.quantile(0.50) as f64);
+        q90.push(it.latency.quantile(0.90) as f64);
+        q99.push(it.latency.quantile(0.99) as f64);
+        q999.push(it.latency.quantile(0.999) as f64);
+        qmax.push(it.latency.max() as f64);
+        rates.push(it.achieved_rate);
+        merged.merge(&it.latency);
+        attribution.merge(&it.attribution);
+        saturated_runs += it.saturated() as usize;
+        drops += it.drops;
+        max_lag = max_lag.max(it.max_lag_ns);
+        backlogs += it.backlog;
+    }
+    let stat = |xs: &[f64]| {
+        let (m, ci) = stats::confidence_interval_95(xs);
+        QuantileStat {
+            mean_ns: m,
+            ci_half_ns: ci,
+        }
+    };
+    OpenLoopMeasurement {
+        offered_rate: cfg.rate_ops_per_sec,
+        achieved_rate: stats::mean(&rates),
+        p50: stat(&q50),
+        p90: stat(&q90),
+        p99: stat(&q99),
+        p999: stat(&q999),
+        max: stat(&qmax),
+        merged,
+        attribution,
+        saturated: saturated_runs * 2 > n,
+        drops,
+        max_lag_ns: max_lag,
+        backlog: backlogs / n as i64,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +213,29 @@ mod tests {
         assert!(m.mean > 0.0);
         assert!(m.ci_half >= 0.0);
         assert!(m.ci_half.is_finite());
+    }
+
+    #[test]
+    fn open_loop_measurement_reports_quantile_cis() {
+        let cfg = OpenLoopConfig {
+            threads: 1,
+            rate_ops_per_sec: 2e6,
+            total_ops: 3_000,
+            invocations: 3,
+            pin: false,
+            ..Default::default()
+        };
+        let m = measure_open_loop::<MutexQueue>(&cfg);
+        assert_eq!(m.merged.count(), 3 * 3_000);
+        assert!(m.p50.mean_ns > 0.0);
+        assert!(m.p50.ci_half_ns.is_finite());
+        // Quantile means must be ordered p50 ≤ p90 ≤ p99 ≤ p99.9 ≤ max.
+        assert!(m.p50.mean_ns <= m.p90.mean_ns);
+        assert!(m.p90.mean_ns <= m.p99.mean_ns);
+        assert!(m.p99.mean_ns <= m.p999.mean_ns);
+        assert!(m.p999.mean_ns <= m.max.mean_ns);
+        assert!(m.achieved_rate > 0.0);
+        assert_eq!(m.drops, 0);
+        assert!(m.attribution.counts_are_sound());
     }
 }

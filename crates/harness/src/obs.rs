@@ -152,6 +152,34 @@ pub fn render_prometheus(stats: &QueueStats, gauges: Option<&Gauges>) -> String 
     out
 }
 
+/// Renders per-backend operation-latency histograms as a Prometheus
+/// *summary* metric (`wfq_op_latency_ns`): one `quantile`-labeled sample
+/// per exported quantile (0.5, 0.99, 0.999) per backend, plus the
+/// conventional `_sum`/`_count` companions. The `queue` label carries the
+/// backend display name, so one scrape compares tails across backends.
+pub fn render_latency_prometheus(series: &[(&str, &crate::histogram::Histogram)]) -> String {
+    let mut out = String::from(
+        "# HELP wfq_op_latency_ns Open-loop operation latency (intended start to completion), nanoseconds\n# TYPE wfq_op_latency_ns summary\n",
+    );
+    for (queue, h) in series {
+        for (label, q) in [("0.5", 0.50), ("0.99", 0.99), ("0.999", 0.999)] {
+            out.push_str(&format!(
+                "wfq_op_latency_ns{{queue=\"{queue}\",quantile=\"{label}\"}} {}\n",
+                h.quantile(q)
+            ));
+        }
+        out.push_str(&format!(
+            "wfq_op_latency_ns_sum{{queue=\"{queue}\"}} {}\n",
+            h.sum()
+        ));
+        out.push_str(&format!(
+            "wfq_op_latency_ns_count{{queue=\"{queue}\"}} {}\n",
+            h.count()
+        ));
+    }
+    out
+}
+
 /// Writes [`render_prometheus`] output to a file.
 pub fn write_metrics(
     path: &Path,
@@ -341,6 +369,39 @@ mod tests {
         let out = render_prometheus(&s, None);
         assert!(out.contains("wfq_enq_slow_helped_total 7\n"), "{out}");
         assert!(out.contains("wfq_deq_slow_empty_total 9\n"), "{out}");
+    }
+
+    #[test]
+    fn latency_summary_exposes_quantiles_per_backend() {
+        use crate::histogram::Histogram;
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for i in 1..=1000u64 {
+            a.record(i);
+            b.record(i * 100);
+        }
+        let out = render_latency_prometheus(&[("WF-10", &a), ("FAA", &b)]);
+        assert!(out.contains("# TYPE wfq_op_latency_ns summary"));
+        for q in ["0.5", "0.99", "0.999"] {
+            assert!(
+                out.contains(&format!("wfq_op_latency_ns{{queue=\"WF-10\",quantile=\"{q}\"}} ")),
+                "{out}"
+            );
+            assert!(
+                out.contains(&format!("wfq_op_latency_ns{{queue=\"FAA\",quantile=\"{q}\"}} ")),
+                "{out}"
+            );
+        }
+        assert!(out.contains("wfq_op_latency_ns_count{queue=\"WF-10\"} 1000\n"));
+        assert!(out.contains(&format!(
+            "wfq_op_latency_ns_sum{{queue=\"WF-10\"}} {}\n",
+            (1..=1000u64).sum::<u64>()
+        )));
+        // Summary quantile samples carry no TYPE line of their own and the
+        // label set renders one sample per line.
+        for line in out.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split(' ').count(), 2, "bad sample line: {line}");
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! reported but never fail.
 
 use crate::json::{self, Value};
-use crate::report::{Series, SeriesPoint};
+use crate::report::{LatencyPoint, LatencySeries, Series, SeriesPoint};
 
 /// A parsed benchmark snapshot.
 #[derive(Debug, Clone)]
@@ -235,6 +235,280 @@ pub fn trajectory_line(snap: &Snapshot) -> String {
     out
 }
 
+// ----------------------------------------------------------------------
+// Latency snapshots (the p99 regression gate)
+// ----------------------------------------------------------------------
+
+/// A parsed latency-observatory snapshot (`results/BENCH_latency.json`,
+/// the schema of [`report::render_latency_json`]).
+#[derive(Debug, Clone)]
+pub struct LatencySnapshot {
+    /// Commit the snapshot measured.
+    pub commit: Option<String>,
+    /// Benchmark name (`latency_observatory`).
+    pub benchmark: String,
+    /// Workload label (`open_loop_pairs`).
+    pub workload: String,
+    /// Arrival-schedule shape (`fixed`, `poisson`, `bursty`).
+    pub schedule: String,
+    /// Generator thread count.
+    pub threads: usize,
+    /// One frontier per queue.
+    pub series: Vec<LatencySeries>,
+}
+
+/// Parses a latency snapshot JSON document.
+pub fn parse_latency_snapshot(doc: &str) -> Result<LatencySnapshot, String> {
+    let v = json::parse(doc)?;
+    let str_field = |v: &Value, k: &str| -> Result<String, String> {
+        v.get(k)
+            .and_then(|x| x.as_str().map(str::to_string))
+            .ok_or_else(|| format!("latency snapshot missing string field {k:?}"))
+    };
+    let num_field = |v: &Value, k: &str| -> Result<f64, String> {
+        v.get(k)
+            .and_then(|x| x.as_num())
+            .ok_or_else(|| format!("latency point missing number field {k:?}"))
+    };
+    let bool_field = |v: &Value, k: &str| -> Result<bool, String> {
+        match v.get(k) {
+            Some(Value::Bool(b)) => Ok(*b),
+            _ => Err(format!("latency point missing bool field {k:?}")),
+        }
+    };
+    let mut series = Vec::new();
+    for s in v
+        .get("series")
+        .and_then(|x| x.as_arr())
+        .ok_or("latency snapshot missing series array")?
+    {
+        let mut points = Vec::new();
+        for p in s
+            .get("points")
+            .and_then(|x| x.as_arr())
+            .ok_or("latency series missing points array")?
+        {
+            points.push(LatencyPoint {
+                rate_kops: num_field(&p, "rate_kops")?,
+                achieved_kops: num_field(&p, "achieved_kops")?,
+                saturated: bool_field(&p, "saturated")?,
+                drops: num_field(&p, "drops")? as u64,
+                max_lag_ns: num_field(&p, "max_lag_ns")? as u64,
+                backlog: num_field(&p, "backlog")? as i64,
+                p50_ns: num_field(&p, "p50_ns")?,
+                p50_ci: num_field(&p, "p50_ci")?,
+                p90_ns: num_field(&p, "p90_ns")?,
+                p90_ci: num_field(&p, "p90_ci")?,
+                p99_ns: num_field(&p, "p99_ns")?,
+                p99_ci: num_field(&p, "p99_ci")?,
+                p999_ns: num_field(&p, "p999_ns")?,
+                p999_ci: num_field(&p, "p999_ci")?,
+                max_ns: num_field(&p, "max_ns")?,
+                max_ci: num_field(&p, "max_ci")?,
+                share_fast: num_field(&p, "share_fast")?,
+                share_slow: num_field(&p, "share_slow")?,
+                share_helped: num_field(&p, "share_helped")?,
+                sampled: num_field(&p, "sampled")? as u64,
+            });
+        }
+        series.push(LatencySeries {
+            name: str_field(&s, "queue")?,
+            points,
+        });
+    }
+    Ok(LatencySnapshot {
+        commit: v.get("commit").and_then(|x| x.as_str().map(str::to_string)),
+        benchmark: str_field(&v, "benchmark")?,
+        workload: str_field(&v, "workload")?,
+        schedule: str_field(&v, "schedule")?,
+        threads: v
+            .get("threads")
+            .and_then(|x| x.as_num())
+            .ok_or("latency snapshot missing threads")? as usize,
+        series,
+    })
+}
+
+/// One `(queue, rate_kops)` p99 comparison. The polarity is the mirror of
+/// throughput [`Delta`]: here **higher is worse**.
+#[derive(Debug, Clone)]
+pub struct LatencyDelta {
+    /// Queue display name.
+    pub queue: String,
+    /// Offered rate, kops/s.
+    pub rate_kops: f64,
+    /// Baseline `(p99_ns, ci_half)`.
+    pub base: (f64, f64),
+    /// Candidate `(p99_ns, ci_half)`.
+    pub cand: (f64, f64),
+    /// Relative p99 change, percent (positive = slower).
+    pub pct_change: f64,
+    /// Whether the 95% CIs do not overlap.
+    pub significant: bool,
+    /// Candidate saturates at a rate the baseline served: always gates
+    /// (the frontier itself moved, regardless of the quantile delta).
+    pub saturation_onset: bool,
+    /// Fails the gate.
+    pub regressed: bool,
+    /// Significant speedup past the threshold: reported, never fails.
+    pub improved: bool,
+}
+
+/// The result of comparing candidate latency against a baseline.
+#[derive(Debug)]
+pub struct LatencyComparison {
+    /// Every matched `(queue, rate_kops)` point.
+    pub deltas: Vec<LatencyDelta>,
+    /// `(queue, rate)` keys present in only one snapshot.
+    pub unmatched: Vec<String>,
+}
+
+impl LatencyComparison {
+    /// The deltas that fail the gate.
+    pub fn regressions(&self) -> Vec<&LatencyDelta> {
+        self.deltas.iter().filter(|d| d.regressed).collect()
+    }
+
+    /// Human-readable comparison table (p99 in ns).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<12} {:>10} {:>20} {:>20} {:>8}  verdict",
+            "queue", "rate_kops", "baseline p99", "candidate p99", "delta"
+        );
+        for d in &self.deltas {
+            let verdict = if d.saturation_onset {
+                "REGRESSION (saturates)"
+            } else if d.regressed {
+                "REGRESSION"
+            } else if d.improved {
+                "improved"
+            } else if d.significant {
+                "within threshold"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                out,
+                "{:<12} {:>10.0} {:>12.0} ±{:<6.0} {:>12.0} ±{:<6.0} {:>+7.1}%  {}",
+                d.queue,
+                d.rate_kops,
+                d.base.0,
+                d.base.1,
+                d.cand.0,
+                d.cand.1,
+                d.pct_change,
+                verdict
+            );
+        }
+        for u in &self.unmatched {
+            let _ = writeln!(out, "unmatched: {u}");
+        }
+        out
+    }
+}
+
+/// Compares candidate latency against baseline on the `(queue, rate_kops)`
+/// key. A point **regresses** when the candidate p99 is *higher*, the
+/// relative increase exceeds `threshold_pct` (the gate's default is 10 —
+/// quantiles are noisier than means), and the 95% CIs do not overlap —
+/// the same three-part test as the throughput gate with the polarity
+/// flipped. A candidate that *saturates* at a rate the baseline served
+/// regresses unconditionally: its measured p99 under overload is not
+/// comparable (the open loop's lag means the point no longer measures the
+/// offered schedule), but the lost headroom is itself the regression.
+pub fn compare_latency(
+    base: &LatencySnapshot,
+    cand: &LatencySnapshot,
+    threshold_pct: f64,
+) -> LatencyComparison {
+    let mut deltas = Vec::new();
+    let mut unmatched = Vec::new();
+    for bs in &base.series {
+        let Some(cs) = cand.series.iter().find(|s| s.name == bs.name) else {
+            unmatched.push(format!("{} (baseline only)", bs.name));
+            continue;
+        };
+        for bp in &bs.points {
+            let Some(cp) = cs
+                .points
+                .iter()
+                .find(|p| (p.rate_kops - bp.rate_kops).abs() < 1e-6)
+            else {
+                unmatched.push(format!("{} @{}k (baseline only)", bs.name, bp.rate_kops));
+                continue;
+            };
+            let diff = cp.p99_ns - bp.p99_ns;
+            let pct_change = if bp.p99_ns == 0.0 {
+                0.0
+            } else {
+                100.0 * diff / bp.p99_ns
+            };
+            let significant = diff.abs() > bp.p99_ci + cp.p99_ci;
+            let saturation_onset = cp.saturated && !bp.saturated;
+            deltas.push(LatencyDelta {
+                queue: bs.name.clone(),
+                rate_kops: bp.rate_kops,
+                base: (bp.p99_ns, bp.p99_ci),
+                cand: (cp.p99_ns, cp.p99_ci),
+                pct_change,
+                significant,
+                saturation_onset,
+                regressed: saturation_onset
+                    || (significant && pct_change > threshold_pct),
+                improved: significant && pct_change < -threshold_pct,
+            });
+        }
+    }
+    for cs in &cand.series {
+        if !base.series.iter().any(|s| s.name == cs.name) {
+            unmatched.push(format!("{} (candidate only)", cs.name));
+        }
+    }
+    LatencyComparison { deltas, unmatched }
+}
+
+/// Renders one latency snapshot as a single normalized JSON line for
+/// `results/trajectory.jsonl` — compacted to the trajectory quantiles
+/// (p50/p99/p99.9) so the tail history stays `git diff`-able next to the
+/// throughput lines.
+pub fn latency_trajectory_line(snap: &LatencySnapshot) -> String {
+    let mut out = String::from("{");
+    if let Some(c) = &snap.commit {
+        out.push_str(&format!(
+            "\"commit\": \"{}\", ",
+            c.replace('\\', "\\\\").replace('"', "\\\"")
+        ));
+    }
+    out.push_str(&format!(
+        "\"benchmark\": \"{}\", \"workload\": \"{}\", \"schedule\": \"{}\", \"threads\": {}, \"series\": [",
+        snap.benchmark, snap.workload, snap.schedule, snap.threads
+    ));
+    for (si, s) in snap.series.iter().enumerate() {
+        if si > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"queue\": \"{}\", \"points\": [",
+            s.name.replace('\\', "\\\\").replace('"', "\\\"")
+        ));
+        for (pi, p) in s.points.iter().enumerate() {
+            if pi > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"rate_kops\": {:.3}, \"p50_ns\": {:.1}, \"p99_ns\": {:.1}, \"p99_ci\": {:.1}, \"p999_ns\": {:.1}, \"saturated\": {}}}",
+                p.rate_kops, p.p50_ns, p.p99_ns, p.p99_ci, p.p999_ns, p.saturated
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,5 +630,160 @@ mod tests {
         assert!(
             parse_snapshot("{\"benchmark\": \"x\", \"workload\": \"y\", \"series\": 3}").is_err()
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Latency gate
+    // ------------------------------------------------------------------
+
+    fn lat_point(rate: f64, p99: f64, ci: f64, saturated: bool) -> LatencyPoint {
+        LatencyPoint {
+            rate_kops: rate,
+            achieved_kops: rate,
+            saturated,
+            drops: 0,
+            max_lag_ns: 0,
+            backlog: 0,
+            p50_ns: p99 * 0.3,
+            p50_ci: ci,
+            p90_ns: p99 * 0.6,
+            p90_ci: ci,
+            p99_ns: p99,
+            p99_ci: ci,
+            p999_ns: p99 * 2.0,
+            p999_ci: ci,
+            max_ns: p99 * 5.0,
+            max_ci: ci,
+            share_fast: 1.0,
+            share_slow: 0.0,
+            share_helped: 0.0,
+            sampled: 10_000,
+        }
+    }
+
+    fn lat_snap(scale: f64, ci: f64) -> LatencySnapshot {
+        LatencySnapshot {
+            commit: Some("deadbee".into()),
+            benchmark: "latency_observatory".into(),
+            workload: "open_loop_pairs".into(),
+            schedule: "fixed".into(),
+            threads: 2,
+            series: vec![LatencySeries {
+                name: "WF-10".into(),
+                points: vec![
+                    lat_point(250.0, 800.0 * scale, ci, false),
+                    lat_point(1000.0, 1200.0 * scale, ci, false),
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn latency_self_comparison_passes() {
+        let a = lat_snap(1.0, 10.0);
+        let cmp = compare_latency(&a, &a, 10.0);
+        assert!(cmp.regressions().is_empty(), "{}", cmp.render());
+        assert!(cmp.unmatched.is_empty());
+    }
+
+    #[test]
+    fn a_significant_p99_inflation_regresses() {
+        // Higher-is-worse polarity: +50% p99 with tight CIs must fail.
+        let base = lat_snap(1.0, 10.0);
+        let cand = lat_snap(1.5, 10.0);
+        let cmp = compare_latency(&base, &cand, 10.0);
+        assert_eq!(cmp.regressions().len(), 2, "{}", cmp.render());
+        assert!(cmp.render().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn a_p99_drop_is_an_improvement_not_a_regression() {
+        let base = lat_snap(1.0, 10.0);
+        let cand = lat_snap(0.5, 10.0);
+        let cmp = compare_latency(&base, &cand, 10.0);
+        assert!(cmp.regressions().is_empty());
+        assert!(cmp.deltas.iter().all(|d| d.improved));
+        assert!(cmp.render().contains("improved"));
+    }
+
+    #[test]
+    fn overlapping_cis_mask_latency_deltas() {
+        // |Δ| = 160 ns at the low point < 100+100: not significant.
+        let base = lat_snap(1.0, 500.0);
+        let cand = lat_snap(1.2, 500.0);
+        let cmp = compare_latency(&base, &cand, 10.0);
+        assert!(cmp.regressions().is_empty(), "{}", cmp.render());
+    }
+
+    #[test]
+    fn sub_threshold_latency_inflation_passes() {
+        let base = lat_snap(1.0, 0.5);
+        let cand = lat_snap(1.05, 0.5); // +5% < 10% threshold, tight CIs
+        let cmp = compare_latency(&base, &cand, 10.0);
+        assert!(cmp.regressions().is_empty());
+        assert!(cmp.deltas.iter().all(|d| d.significant));
+    }
+
+    #[test]
+    fn saturation_onset_regresses_even_with_equal_p99() {
+        let base = lat_snap(1.0, 10.0);
+        let mut cand = lat_snap(1.0, 10.0);
+        cand.series[0].points[1].saturated = true;
+        let cmp = compare_latency(&base, &cand, 10.0);
+        assert_eq!(cmp.regressions().len(), 1);
+        assert!(cmp.render().contains("saturates"), "{}", cmp.render());
+        // The reverse direction (candidate de-saturates) never fails.
+        let cmp = compare_latency(&cand, &base, 10.0);
+        assert!(cmp.regressions().is_empty());
+    }
+
+    #[test]
+    fn latency_snapshots_roundtrip_through_render_and_parse() {
+        let s = lat_snap(1.0, 10.0);
+        let doc = crate::report::render_latency_json(
+            &s.schedule,
+            s.threads,
+            s.commit.as_deref(),
+            &s.series,
+        );
+        let back = parse_latency_snapshot(&doc).unwrap();
+        assert_eq!(back.commit.as_deref(), Some("deadbee"));
+        assert_eq!(back.benchmark, "latency_observatory");
+        assert_eq!(back.schedule, "fixed");
+        assert_eq!(back.threads, 2);
+        assert_eq!(back.series, s.series);
+    }
+
+    #[test]
+    fn latency_trajectory_line_is_one_line_of_valid_json() {
+        let line = latency_trajectory_line(&lat_snap(1.0, 10.0));
+        assert_eq!(line.lines().count(), 1);
+        let v = crate::json::parse(&line).unwrap();
+        assert_eq!(
+            v.get("benchmark").unwrap().as_str(),
+            Some("latency_observatory")
+        );
+        let series = v.get("series").unwrap().as_arr().unwrap();
+        let pts = series[0].get("points").unwrap().as_arr().unwrap();
+        assert_eq!(pts[0].get("p99_ns").unwrap().as_num(), Some(800.0));
+    }
+
+    #[test]
+    fn malformed_latency_snapshots_return_errors() {
+        assert!(parse_latency_snapshot("not json").is_err());
+        // A throughput snapshot is not a latency snapshot (missing
+        // schedule/threads and the per-point latency fields).
+        let tp = crate::report::render_json("figure2", "pairwise", &snap(1.0, 0.2).series);
+        assert!(parse_latency_snapshot(&tp).is_err());
+    }
+
+    #[test]
+    fn latency_rate_mismatches_surface_as_unmatched() {
+        let base = lat_snap(1.0, 10.0);
+        let mut cand = lat_snap(1.0, 10.0);
+        cand.series[0].points[1].rate_kops = 4000.0;
+        let cmp = compare_latency(&base, &cand, 10.0);
+        assert_eq!(cmp.deltas.len(), 1);
+        assert_eq!(cmp.unmatched.len(), 1, "{:?}", cmp.unmatched);
     }
 }

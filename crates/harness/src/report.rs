@@ -113,6 +113,134 @@ pub fn render_json_with_commit(
     out
 }
 
+// ----------------------------------------------------------------------
+// Latency-observatory snapshot schema (BENCH_latency.json)
+// ----------------------------------------------------------------------
+
+/// One (offered rate → tail latency) point of a latency-observatory
+/// frontier line. Quantiles are means over invocations with Student-t 95%
+/// half-widths (`*_ci`), all in nanoseconds; `share_*` are the attribution
+/// fractions of `sampled` operations (zero when the backend exposes no
+/// `op-sample` hooks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyPoint {
+    /// Offered arrival rate, kops/s.
+    pub rate_kops: f64,
+    /// Achieved completion rate, kops/s.
+    pub achieved_kops: f64,
+    /// Majority of invocations ended with generator lag > 10% of span.
+    pub saturated: bool,
+    /// Rejected enqueues (overload mode; 0 otherwise).
+    pub drops: u64,
+    /// Worst generator lag in any invocation, ns.
+    pub max_lag_ns: u64,
+    /// Mean end-of-run queue growth (enqueues − dequeues).
+    pub backlog: i64,
+    /// p50 mean, ns.
+    pub p50_ns: f64,
+    /// p50 95% CI half-width.
+    pub p50_ci: f64,
+    /// p90 mean, ns.
+    pub p90_ns: f64,
+    /// p90 95% CI half-width.
+    pub p90_ci: f64,
+    /// p99 mean, ns (the regression-gate quantile).
+    pub p99_ns: f64,
+    /// p99 95% CI half-width.
+    pub p99_ci: f64,
+    /// p99.9 mean, ns.
+    pub p999_ns: f64,
+    /// p99.9 95% CI half-width.
+    pub p999_ci: f64,
+    /// Max mean, ns.
+    pub max_ns: f64,
+    /// Max 95% CI half-width.
+    pub max_ci: f64,
+    /// Fraction of sampled ops that completed on the fast path.
+    pub share_fast: f64,
+    /// Fraction that entered the slow path and finished it themselves.
+    pub share_slow: f64,
+    /// Fraction completed by a helper.
+    pub share_helped: f64,
+    /// Operations with a path sample (0 without `op-sample`).
+    pub sampled: u64,
+}
+
+/// One queue's latency frontier (ascending offered rates).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySeries {
+    /// Queue display name.
+    pub name: String,
+    /// Frontier points, ascending `rate_kops`.
+    pub points: Vec<LatencyPoint>,
+}
+
+/// Renders latency-observatory results as the committed
+/// `results/BENCH_latency.json` schema (see docs/OBSERVABILITY.md):
+/// top-level `commit`/`benchmark`/`workload` mirror the throughput
+/// snapshots so tooling can key on the same fields, plus `schedule` and
+/// `threads` which are per-document here (one sweep = one shape × one
+/// thread count).
+pub fn render_latency_json(
+    schedule: &str,
+    threads: usize,
+    commit: Option<&str>,
+    series: &[LatencySeries],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    if let Some(c) = commit {
+        out.push_str(&format!(
+            "  \"commit\": \"{}\",\n",
+            c.replace('\\', "\\\\").replace('"', "\\\"")
+        ));
+    }
+    out.push_str(&format!(
+        "  \"benchmark\": \"latency_observatory\",\n  \"workload\": \"open_loop_pairs\",\n  \"schedule\": \"{schedule}\",\n  \"threads\": {threads},\n  \"series\": [\n"
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"queue\": \"{}\", \"points\": [\n",
+            s.name.replace('\\', "\\\\").replace('"', "\\\"")
+        ));
+        for (pi, p) in s.points.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"rate_kops\": {:.3}, \"achieved_kops\": {:.3}, \"saturated\": {}, \"drops\": {}, \"max_lag_ns\": {}, \"backlog\": {}, \
+                 \"p50_ns\": {:.1}, \"p50_ci\": {:.1}, \"p90_ns\": {:.1}, \"p90_ci\": {:.1}, \"p99_ns\": {:.1}, \"p99_ci\": {:.1}, \
+                 \"p999_ns\": {:.1}, \"p999_ci\": {:.1}, \"max_ns\": {:.1}, \"max_ci\": {:.1}, \
+                 \"share_fast\": {:.6}, \"share_slow\": {:.6}, \"share_helped\": {:.6}, \"sampled\": {}}}{}\n",
+                p.rate_kops,
+                p.achieved_kops,
+                p.saturated,
+                p.drops,
+                p.max_lag_ns,
+                p.backlog,
+                p.p50_ns,
+                p.p50_ci,
+                p.p90_ns,
+                p.p90_ci,
+                p.p99_ns,
+                p.p99_ci,
+                p.p999_ns,
+                p.p999_ci,
+                p.max_ns,
+                p.max_ci,
+                p.share_fast,
+                p.share_slow,
+                p.share_helped,
+                p.sampled,
+                if pi + 1 == s.points.len() { "" } else { "," }
+            ));
+        }
+        out.push_str(&format!(
+            "    ]}}{}\n",
+            if si + 1 == series.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Renders series as CSV: `queue,threads,mean_mops,ci_half`.
 pub fn render_csv(series: &[Series]) -> String {
     let mut out = String::from("queue,threads,mean_mops,ci_half\n");
@@ -204,6 +332,60 @@ mod tests {
         let doc = render_json("figure2", "pairwise", &[]);
         let v = crate::json::parse(&doc).unwrap();
         assert_eq!(v.get("series").unwrap().as_arr().unwrap().len(), 0);
+    }
+
+    fn latency_sample() -> Vec<LatencySeries> {
+        let point = |rate: f64, p99: f64| LatencyPoint {
+            rate_kops: rate,
+            achieved_kops: rate * 0.99,
+            saturated: false,
+            drops: 0,
+            max_lag_ns: 1_200,
+            backlog: -1,
+            p50_ns: p99 * 0.2,
+            p50_ci: 4.0,
+            p90_ns: p99 * 0.5,
+            p90_ci: 6.0,
+            p99_ns: p99,
+            p99_ci: 10.0,
+            p999_ns: p99 * 2.0,
+            p999_ci: 25.0,
+            max_ns: p99 * 8.0,
+            max_ci: 100.0,
+            share_fast: 0.96,
+            share_slow: 0.03,
+            share_helped: 0.01,
+            sampled: 40_000,
+        };
+        vec![
+            LatencySeries {
+                name: "WF-10".into(),
+                points: vec![point(250.0, 800.0), point(1000.0, 1100.0)],
+            },
+            LatencySeries {
+                name: "FAA".into(),
+                points: vec![point(250.0, 700.0), point(1000.0, 900.0)],
+            },
+        ]
+    }
+
+    #[test]
+    fn latency_json_roundtrips_through_the_parser() {
+        let doc = render_latency_json("fixed", 2, Some("abc1234"), &latency_sample());
+        let v = crate::json::parse(&doc).expect("render_latency_json must emit valid JSON");
+        assert_eq!(v.get("benchmark").unwrap().as_str(), Some("latency_observatory"));
+        assert_eq!(v.get("workload").unwrap().as_str(), Some("open_loop_pairs"));
+        assert_eq!(v.get("schedule").unwrap().as_str(), Some("fixed"));
+        assert_eq!(v.get("threads").unwrap().as_num(), Some(2.0));
+        let series = v.get("series").unwrap().as_arr().unwrap();
+        assert_eq!(series.len(), 2);
+        let pts = series[0].get("points").unwrap().as_arr().unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].get("rate_kops").unwrap().as_num(), Some(250.0));
+        assert_eq!(pts[0].get("p99_ns").unwrap().as_num(), Some(800.0));
+        assert_eq!(pts[0].get("saturated").unwrap(), &crate::json::Value::Bool(false));
+        assert_eq!(pts[0].get("backlog").unwrap().as_num(), Some(-1.0));
+        assert_eq!(pts[0].get("share_fast").unwrap().as_num(), Some(0.96));
     }
 
     #[test]

@@ -108,7 +108,7 @@ impl HelpChain {
 }
 
 /// The reconstruction result over one set of drained traces.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct SpanReport {
     /// Every matched episode, time-ordered by span open.
     pub chains: Vec<HelpChain>,
