@@ -221,6 +221,71 @@ fn bench_batch_amortization(c: &mut Criterion) {
     g.finish();
 }
 
+/// Guardrail for durable mode (DESIGN.md §12): in the default build the
+/// internal `persist!` macro at the three commit frontiers expands to `()`
+/// — the const proof in `core/src/raw.rs` shows the expansion is a valid
+/// constant expression, so no `Option` load, no branch, no sink call. This
+/// bench makes that observable: `persist_hooks_disabled` is the plain pair
+/// loop walked straight through every persist site, and it must price
+/// identically to `uncontended_pair/wf-faa` above. Rebuild with
+/// `--features durable` and the group grows the priced tiers — the no-sink
+/// branch (`durable_no_sink`) and a live in-memory store
+/// (`durable_mem_store`) — so EXPERIMENTS.md can quote what durable mode
+/// actually costs and what merely *compiling* it would cost if the proof
+/// ever broke.
+fn bench_persist_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("persist_overhead");
+    g.sample_size(20).measurement_time(Duration::from_secs(1));
+
+    let q = <RawQueue as BenchQueue>::new();
+    let mut h = RawQueue::register(&q);
+    let mut i = 0u64;
+    g.bench_function("persist_hooks_disabled", |b| {
+        b.iter(|| {
+            i += 1;
+            h.enqueue(i);
+            std::hint::black_box(h.dequeue())
+        })
+    });
+
+    #[cfg(feature = "durable")]
+    {
+        // Hooks compiled in but no sink attached: each frontier pays one
+        // `Option` load and branch.
+        let q2: RawQueue = RawQueue::with_config(wfqueue::Config::default());
+        let mut h2 = q2.register();
+        g.bench_function("durable_no_sink", |b| {
+            b.iter(|| {
+                i += 1;
+                h2.enqueue(i);
+                std::hint::black_box(h2.dequeue())
+            })
+        });
+
+        // Full durable pair: deposit + index-advance + consume records into
+        // an in-memory store on every operation. The store's index space is
+        // finite and each pair burns two cells, so every sample gets a
+        // fresh store sized to its batch (built outside the timed region).
+        g.bench_function("durable_mem_store", |b| {
+            b.iter_custom(|iters| {
+                let store = std::sync::Arc::new(wfqueue::MemStore::new(2 * iters + 64, 4));
+                let q3: RawQueue = RawQueue::with_persist(
+                    wfqueue::Config::default(),
+                    store as std::sync::Arc<dyn wfqueue::PersistSink>,
+                );
+                let mut h3 = q3.register();
+                let start = std::time::Instant::now();
+                for j in 1..=iters {
+                    h3.enqueue(j);
+                    std::hint::black_box(h3.dequeue());
+                }
+                start.elapsed()
+            })
+        });
+    }
+    g.finish();
+}
+
 fn main() {
     let mut c = Criterion::new();
     bench_atomics(&mut c);
@@ -229,4 +294,5 @@ fn main() {
     bench_op_sample_overhead(&mut c);
     bench_try_enqueue_overhead(&mut c);
     bench_batch_amortization(&mut c);
+    bench_persist_overhead(&mut c);
 }

@@ -47,6 +47,21 @@ fn die(msg: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
+/// Parses `--threshold`, defaulting only when the flag is *absent* — a
+/// present-but-garbled value is a usage error (exit 2), never a silent
+/// fall-back to the default that would gate at the wrong sensitivity.
+fn threshold_or(args: &Args, default: f64) -> Result<f64, String> {
+    match args.get("threshold") {
+        None => Ok(default),
+        Some(t) => match t.parse::<f64>() {
+            Ok(v) if v.is_finite() && v >= 0.0 => Ok(v),
+            _ => Err(format!(
+                "--threshold must be a non-negative percentage, got {t:?}"
+            )),
+        },
+    }
+}
+
 fn load(path: &str) -> Result<wfq_harness::regress::Snapshot, String> {
     let doc =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -100,12 +115,10 @@ fn latency_main(args: &Args) -> ExitCode {
     };
     // Quantiles are noisier than means: the latency gate's default
     // threshold is 10%, vs 5% for throughput.
-    let threshold = args
-        .get("threshold")
-        .map(|t| t.parse::<f64>())
-        .transpose()
-        .unwrap_or(None)
-        .unwrap_or(10.0);
+    let threshold = match threshold_or(args, 10.0) {
+        Ok(t) => t,
+        Err(e) => return die(&e),
+    };
     let base = match load_latency(base_path) {
         Ok(s) => s,
         Err(e) => return die(&e),
@@ -130,6 +143,9 @@ fn latency_main(args: &Args) -> ExitCode {
         cand.commit.as_deref().unwrap_or("?"),
     );
     print!("{}", cmp.render());
+    if cmp.deltas.is_empty() {
+        return die("no overlapping (queue, rate) points between the snapshots — nothing was gated");
+    }
     let regressions = cmp.regressions();
     if regressions.is_empty() {
         println!(
@@ -179,12 +195,10 @@ fn main() -> ExitCode {
     else {
         return die("need --baseline and --candidate (or --record)");
     };
-    let threshold = args
-        .get("threshold")
-        .map(|t| t.parse::<f64>())
-        .transpose()
-        .unwrap_or(None)
-        .unwrap_or(5.0);
+    let threshold = match threshold_or(&args, 5.0) {
+        Ok(t) => t,
+        Err(e) => return die(&e),
+    };
 
     let base = match load(base_path) {
         Ok(s) => s,
@@ -210,6 +224,11 @@ fn main() -> ExitCode {
         cand.commit.as_deref().unwrap_or("?"),
     );
     print!("{}", cmp.render());
+    if cmp.deltas.is_empty() {
+        return die(
+            "no overlapping (queue, threads) points between the snapshots — nothing was gated",
+        );
+    }
 
     let regressions = cmp.regressions();
     if regressions.is_empty() {

@@ -18,13 +18,23 @@
 //!
 //! Values must be unique per history (the harness tags them), which is what
 //! makes the queue specification efficiently checkable.
+//!
+//! A third, orthogonal checker — [`recovery::certify_recovery`] — certifies
+//! *detectable recovery* of the durable queue mode: after a crash, the
+//! durable image (not the dead volatile history) is the authoritative
+//! record, and every pre-crash enqueue must be delivered exactly once or
+//! provably rejected.
 
 #![warn(missing_docs)]
 
 pub mod history;
 pub mod invariants;
 pub mod linearize;
+pub mod recovery;
 
 pub use history::{BatchPos, History, OpKind, Operation, Recorder, ThreadRecorder};
 pub use invariants::{check_necessary, Violation};
 pub use linearize::{check as check_linearizable, CheckResult};
+pub use recovery::{
+    certify_recovery, DurableFate, RecoveryCertificate, RecoveryHistory, RecoveryViolation,
+};

@@ -1,0 +1,374 @@
+//! Crash-recovery certification (ISSUE 8): detectable recovery for the
+//! durable queue mode.
+//!
+//! The volatile checkers in this crate certify *linearizability* of a live
+//! execution. After a crash the question changes: the authoritative record
+//! is no longer the volatile history (which died with the process) but the
+//! **durable image** snapshotted at the crash instant. This module
+//! certifies the recovery contract of `wfqueue`'s durable mode:
+//!
+//! > Every pre-crash enqueue is delivered **exactly once** or **provably
+//! > rejected** — and which of the two is decidable from the image alone.
+//!
+//! Concretely, each attempted value's [`DurableFate`] in the crash image
+//! dictates its obligation:
+//!
+//! | fate in image                  | obligation                              |
+//! |--------------------------------|-----------------------------------------|
+//! | consumed                       | delivered pre-crash; must NOT reappear  |
+//! | deposited (not consumed)       | must be redelivered exactly once        |
+//! | claimed, cell still empty      | must be redelivered exactly once (the   |
+//! |                                | help-replay window)                     |
+//! | published only / no trace      | provably rejected; must NOT reappear    |
+//!
+//! plus FIFO preservation: redeliveries must come out in the values'
+//! original cell order. The harness builds a [`RecoveryHistory`] from the
+//! crash snapshot and the post-recovery drain; [`certify_recovery`] either
+//! issues a [`RecoveryCertificate`] or convicts with the first
+//! [`RecoveryViolation`] found (deterministic order, smallest value first).
+//!
+//! The checker is deliberately independent of `wfqueue`'s store layout: it
+//! consumes plain fates, so a deliberately broken recovery (the
+//! skip-help-replay negative control) is convicted on the same evidence a
+//! correct one is certified on.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A value's durable state in the crash-instant image, already reduced by
+/// the harness (a claim record pointing at a non-empty cell dedupes to the
+/// cell's own fate; priority consumed > deposited > claimed > published).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurableFate {
+    /// A durable consume record exists: delivered before the crash.
+    Consumed {
+        /// The cell the value lived in (original FIFO position).
+        cell: u64,
+    },
+    /// A durable deposit with no consume: committed, undelivered.
+    Deposited {
+        /// The cell the value lives in.
+        cell: u64,
+    },
+    /// A claimed request record whose cell has no durable deposit — the
+    /// claimed-but-uncommitted help window recovery must re-complete.
+    ClaimedUncommitted {
+        /// The cell the claim names.
+        cell: u64,
+    },
+    /// Only a published (unclaimed) request record: provably rejected.
+    Published,
+    /// No durable trace at all: provably rejected.
+    Absent,
+}
+
+impl DurableFate {
+    /// The redelivery obligation: `Some(cell)` if the image commits the
+    /// value (it must come back out, in cell order), `None` if it rejects.
+    pub fn committed_cell(self) -> Option<u64> {
+        match self {
+            DurableFate::Deposited { cell } | DurableFate::ClaimedUncommitted { cell } => {
+                Some(cell)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Everything the certification needs about one crashed-and-recovered run.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryHistory {
+    /// Values whose enqueue was *invoked* before the crash (unique per
+    /// run; recorded by the producer before calling into the queue).
+    pub attempted: Vec<u64>,
+    /// Each attempted value's durable fate in the crash snapshot. Values
+    /// absent from the map default to [`DurableFate::Absent`].
+    pub fates: BTreeMap<u64, DurableFate>,
+    /// Values the *recovered* queue delivered, in delivery order (the
+    /// post-recovery drain).
+    pub redelivered: Vec<u64>,
+}
+
+/// Proof of a detectable-recovery violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryViolation {
+    /// The image durably commits this value, but the recovered queue never
+    /// delivered it.
+    Lost {
+        /// The committed-but-undelivered value.
+        value: u64,
+        /// The cell the image committed it to.
+        cell: u64,
+    },
+    /// The value was delivered more than once (durably consumed pre-crash
+    /// *and* redelivered, or redelivered twice).
+    Duplicated {
+        /// The twice-delivered value.
+        value: u64,
+    },
+    /// The recovered queue delivered a value the image does not commit —
+    /// either never attempted, or attempted but provably rejected.
+    Invented {
+        /// The unjustified value.
+        value: u64,
+    },
+    /// Two committed values were redelivered out of their original cell
+    /// order (FIFO must survive the crash).
+    OrderInversion {
+        /// The value that should have come out first (lower cell).
+        first: u64,
+        /// The value that came out before it (higher cell).
+        second: u64,
+    },
+    /// A fate was recorded for a value never attempted — a harness
+    /// staging bug, convicted rather than silently ignored.
+    UnknownValue {
+        /// The value with a fate but no attempt record.
+        value: u64,
+    },
+}
+
+impl std::fmt::Display for RecoveryViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryViolation::Lost { value, cell } => {
+                write!(f, "lost: value {value} durably committed to cell {cell} was never redelivered")
+            }
+            RecoveryViolation::Duplicated { value } => {
+                write!(f, "duplicated: value {value} delivered more than once")
+            }
+            RecoveryViolation::Invented { value } => {
+                write!(f, "invented: value {value} delivered without a durable commit")
+            }
+            RecoveryViolation::OrderInversion { first, second } => {
+                write!(f, "order inversion: {second} redelivered before {first}")
+            }
+            RecoveryViolation::UnknownValue { value } => {
+                write!(f, "unknown value {value}: fate recorded but never attempted")
+            }
+        }
+    }
+}
+
+/// What a passing certification proved (counts for reporting/metrics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryCertificate {
+    /// Values durably delivered before the crash.
+    pub delivered_pre_crash: usize,
+    /// Committed values the recovered queue redelivered (deposited cells
+    /// plus re-completed claims).
+    pub redelivered: usize,
+    /// Of the redelivered, how many came from the claimed-but-uncommitted
+    /// help window (the re-completion path under test).
+    pub recompleted: usize,
+    /// Values provably rejected (published-only or no durable trace).
+    pub rejected: usize,
+}
+
+/// Certifies one crashed-and-recovered run, returning the certificate or
+/// the first violation (ordered: unknown values, duplicates/inventions in
+/// delivery order, losses by value, inversions by position).
+pub fn certify_recovery(h: &RecoveryHistory) -> Result<RecoveryCertificate, RecoveryViolation> {
+    let attempted: BTreeSet<u64> = h.attempted.iter().copied().collect();
+    for &v in h.fates.keys() {
+        if !attempted.contains(&v) {
+            return Err(RecoveryViolation::UnknownValue { value: v });
+        }
+    }
+    let fate_of = |v: u64| -> DurableFate {
+        h.fates.get(&v).copied().unwrap_or(DurableFate::Absent)
+    };
+
+    // Walk the redelivery sequence: every value must be justified by a
+    // committed fate, appear at most once, and respect cell order.
+    let mut seen = BTreeSet::new();
+    let mut last: Option<(u64, u64)> = None; // (cell, value)
+    for &v in &h.redelivered {
+        if !attempted.contains(&v) {
+            return Err(RecoveryViolation::Invented { value: v });
+        }
+        if !seen.insert(v) {
+            return Err(RecoveryViolation::Duplicated { value: v });
+        }
+        match fate_of(v) {
+            DurableFate::Consumed { .. } => {
+                // Already delivered pre-crash; a redelivery is a duplicate.
+                return Err(RecoveryViolation::Duplicated { value: v });
+            }
+            f => {
+                let Some(cell) = f.committed_cell() else {
+                    return Err(RecoveryViolation::Invented { value: v });
+                };
+                if let Some((prev_cell, prev_val)) = last {
+                    if cell < prev_cell {
+                        return Err(RecoveryViolation::OrderInversion {
+                            first: v,
+                            second: prev_val,
+                        });
+                    }
+                }
+                last = Some((cell, v));
+            }
+        }
+    }
+
+    // Every committed value must have been redelivered.
+    let mut cert = RecoveryCertificate::default();
+    for &v in &attempted {
+        match fate_of(v) {
+            DurableFate::Consumed { .. } => cert.delivered_pre_crash += 1,
+            DurableFate::Deposited { cell } => {
+                if !seen.contains(&v) {
+                    return Err(RecoveryViolation::Lost { value: v, cell });
+                }
+                cert.redelivered += 1;
+            }
+            DurableFate::ClaimedUncommitted { cell } => {
+                if !seen.contains(&v) {
+                    return Err(RecoveryViolation::Lost { value: v, cell });
+                }
+                cert.redelivered += 1;
+                cert.recompleted += 1;
+            }
+            DurableFate::Published | DurableFate::Absent => cert.rejected += 1,
+        }
+    }
+    Ok(cert)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history(
+        attempted: &[u64],
+        fates: &[(u64, DurableFate)],
+        redelivered: &[u64],
+    ) -> RecoveryHistory {
+        RecoveryHistory {
+            attempted: attempted.to_vec(),
+            fates: fates.iter().copied().collect(),
+            redelivered: redelivered.to_vec(),
+        }
+    }
+
+    #[test]
+    fn clean_run_certifies_with_correct_counts() {
+        let h = history(
+            &[1, 2, 3, 4, 5],
+            &[
+                (1, DurableFate::Consumed { cell: 0 }),
+                (2, DurableFate::Deposited { cell: 1 }),
+                (3, DurableFate::ClaimedUncommitted { cell: 2 }),
+                (4, DurableFate::Published),
+                // 5: no fate entry → Absent.
+            ],
+            &[2, 3],
+        );
+        let cert = certify_recovery(&h).unwrap();
+        assert_eq!(cert.delivered_pre_crash, 1);
+        assert_eq!(cert.redelivered, 2);
+        assert_eq!(cert.recompleted, 1);
+        assert_eq!(cert.rejected, 2);
+    }
+
+    #[test]
+    fn committed_but_undelivered_is_lost() {
+        let h = history(
+            &[7],
+            &[(7, DurableFate::Deposited { cell: 3 })],
+            &[],
+        );
+        assert_eq!(
+            certify_recovery(&h),
+            Err(RecoveryViolation::Lost { value: 7, cell: 3 })
+        );
+    }
+
+    #[test]
+    fn skipped_help_replay_is_lost() {
+        // The negative control: a claimed-but-uncommitted value dropped by
+        // a recovery that skips the help replay.
+        let h = history(
+            &[9],
+            &[(9, DurableFate::ClaimedUncommitted { cell: 5 })],
+            &[],
+        );
+        assert_eq!(
+            certify_recovery(&h),
+            Err(RecoveryViolation::Lost { value: 9, cell: 5 })
+        );
+    }
+
+    #[test]
+    fn redelivering_a_consumed_value_is_duplicated() {
+        let h = history(
+            &[1],
+            &[(1, DurableFate::Consumed { cell: 0 })],
+            &[1],
+        );
+        assert_eq!(
+            certify_recovery(&h),
+            Err(RecoveryViolation::Duplicated { value: 1 })
+        );
+    }
+
+    #[test]
+    fn double_redelivery_is_duplicated() {
+        let h = history(
+            &[2],
+            &[(2, DurableFate::Deposited { cell: 1 })],
+            &[2, 2],
+        );
+        assert_eq!(
+            certify_recovery(&h),
+            Err(RecoveryViolation::Duplicated { value: 2 })
+        );
+    }
+
+    #[test]
+    fn delivery_without_commit_is_invented() {
+        // Rejected fate but delivered anyway.
+        let h = history(&[3], &[(3, DurableFate::Published)], &[3]);
+        assert_eq!(
+            certify_recovery(&h),
+            Err(RecoveryViolation::Invented { value: 3 })
+        );
+        // Never attempted at all.
+        let h = history(&[], &[], &[4]);
+        assert_eq!(
+            certify_recovery(&h),
+            Err(RecoveryViolation::Invented { value: 4 })
+        );
+    }
+
+    #[test]
+    fn out_of_cell_order_redelivery_is_inverted() {
+        let h = history(
+            &[1, 2],
+            &[
+                (1, DurableFate::Deposited { cell: 0 }),
+                (2, DurableFate::Deposited { cell: 1 }),
+            ],
+            &[2, 1],
+        );
+        assert_eq!(
+            certify_recovery(&h),
+            Err(RecoveryViolation::OrderInversion { first: 1, second: 2 })
+        );
+    }
+
+    #[test]
+    fn fate_for_unattempted_value_is_convicted() {
+        let h = history(&[], &[(8, DurableFate::Deposited { cell: 0 })], &[]);
+        assert_eq!(
+            certify_recovery(&h),
+            Err(RecoveryViolation::UnknownValue { value: 8 })
+        );
+    }
+
+    #[test]
+    fn empty_history_certifies_vacuously() {
+        let cert = certify_recovery(&RecoveryHistory::default()).unwrap();
+        assert_eq!(cert, RecoveryCertificate::default());
+    }
+}

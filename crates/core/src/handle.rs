@@ -83,7 +83,9 @@ pub(crate) struct HandleNode<const N: usize> {
 impl<const N: usize> HandleNode<N> {
     /// Creates a detached node whose pointers all target `seg` and whose
     /// ring/peer pointers point at itself (patched during registration).
-    pub fn boxed(seg: *mut Segment<N>, seg_id: u64) -> *mut HandleNode<N> {
+    /// `slot` is the node's ordinal, stored on the enqueue request as its
+    /// durable request-record slot.
+    pub fn boxed(seg: *mut Segment<N>, seg_id: u64, slot: u64) -> *mut HandleNode<N> {
         let node = Box::into_raw(Box::new(HandleNode {
             tail: AtomicPtr::new(seg),
             head: AtomicPtr::new(seg),
@@ -105,6 +107,7 @@ impl<const N: usize> HandleNode<N> {
         // Self-loops until spliced into the ring.
         // SAFETY: `node` was just allocated and is exclusively owned.
         unsafe {
+            (*node).enq_req.slot.store(slot, Ordering::Relaxed);
             (*node).next.store(node, Ordering::Relaxed);
             (*node).enq_peer.store(node, Ordering::Relaxed);
             (*node).deq_peer.store(node, Ordering::Relaxed);
@@ -194,7 +197,7 @@ mod tests {
     #[test]
     fn fresh_node_self_loops() {
         let seg = Segment::<64>::alloc(0);
-        let n = Node::boxed(seg, 0);
+        let n = Node::boxed(seg, 0, 0);
         unsafe {
             assert_eq!((*n).next_node(), n);
             assert_eq!((*n).enq_peer.load(Ordering::Relaxed), n);
@@ -208,7 +211,7 @@ mod tests {
     fn splice_builds_a_closed_ring() {
         let seg = Segment::<64>::alloc(0);
         let mut reg = Registry::<64>::new();
-        let nodes: Vec<_> = (0..4).map(|_| Node::boxed(seg, 0)).collect();
+        let nodes: Vec<_> = (0..4).map(|_| Node::boxed(seg, 0, 0)).collect();
         for &n in &nodes {
             reg.splice(n);
         }
@@ -234,7 +237,7 @@ mod tests {
     #[test]
     fn hazard_publish_and_clear() {
         let seg = Segment::<64>::alloc(0);
-        let n = Node::boxed(seg, 0);
+        let n = Node::boxed(seg, 0, 0);
         unsafe {
             (*n).publish_hazard(5);
             assert_eq!((*n).hzd_id.load(Ordering::SeqCst), 5);
@@ -249,8 +252,8 @@ mod tests {
     fn peers_initialized_to_ring_successor() {
         let seg = Segment::<64>::alloc(0);
         let mut reg = Registry::<64>::new();
-        let a = Node::boxed(seg, 0);
-        let b = Node::boxed(seg, 0);
+        let a = Node::boxed(seg, 0, 0);
+        let b = Node::boxed(seg, 0, 0);
         reg.splice(a);
         reg.splice(b);
         unsafe {

@@ -68,10 +68,15 @@
 mod backend;
 mod cell;
 mod config;
+#[cfg(feature = "durable")]
+mod durable;
 mod full;
 mod handle;
+#[cfg(test)]
+mod idempotence;
 mod owned;
 mod pack;
+mod persist;
 mod pool;
 mod raw;
 mod reclaim;
@@ -83,8 +88,17 @@ mod typed;
 
 pub use backend::{BackendHandle, QueueBackend};
 pub use config::Config;
+#[cfg(feature = "durable")]
+pub use durable::{
+    recover_image, CellState, ClaimRecord, DurableScan, MemStore, RecoverError,
+    RecoveryOptions, RecoveryReport, StoreImage,
+};
+#[cfg(all(feature = "durable", unix))]
+pub use durable::HeapFileStore;
 pub use full::Full;
 pub use owned::{OwnedHandle, OwnedLocalHandle};
+#[cfg(feature = "durable")]
+pub use persist::PersistSink;
 pub use raw::{Handle, RawQueue};
 pub use sample::{OpPath, OpSample, OpSide, SAMPLING_ENABLED};
 pub use stats::{Gauges, QueueStats};
@@ -141,4 +155,11 @@ pub const FAULT_POINTS: &[&str] = &[
     "deq_batch::post_faa",
     "deq_batch::partial_probe",
     "deq_batch::straggler",
+    // raw.rs — durable-mode crash windows (DESIGN.md §12): the instant a
+    // protocol effect is volatile-visible but its persist has not landed.
+    // The points exist in every build (they are plain inject! sites); only
+    // the crash matrix arms them with FaultAction::Crash.
+    "enq_fast::deposit_unpersisted",
+    "enq_slow::claim_unpersisted",
+    "deq_fast::consume_unpersisted",
 ];

@@ -25,6 +25,9 @@ use crate::config::Config;
 use crate::full::Full;
 use crate::handle::{HandleNode, Registry, NO_HAZARD};
 use crate::pack::ReqState;
+#[cfg(feature = "durable")]
+use crate::persist::PersistSink;
+use crate::persist::persist;
 use crate::pool::SegmentPool;
 use crate::request::DeqReq;
 use crate::sample::{op_sample, OpPath, OpSample};
@@ -40,6 +43,13 @@ use crate::DEFAULT_SEGMENT_SIZE;
 #[cfg(not(feature = "op-sample"))]
 const _OP_SAMPLE_ZERO_OVERHEAD_PROOF: () =
     op_sample!(no_node, OpSide::Enq, OpPath::Fast, 0u64);
+
+// Same guard for durable mode: with `durable` off the persist hooks at the
+// three commit frontiers (DESIGN.md §12) must expand to a constant
+// expression — no field access, no branch, no argument evaluation. The
+// runtime twin is the `persist_overhead` group of the `primitives` bench.
+#[cfg(not(feature = "durable"))]
+const _PERSIST_ZERO_OVERHEAD_PROOF: () = persist!(no_queue, deposit(0u64, 0u64));
 
 /// Result of `help_enq` (paper Listing 3, lines 90–127): the cell either
 /// yields a value, is permanently unusable (⊤), or witnesses emptiness.
@@ -101,6 +111,10 @@ pub struct RawQueue<const N: usize = DEFAULT_SEGMENT_SIZE> {
     /// Segment recycling pool and allocation gate (inert when unbounded).
     pub(crate) pool: SegmentPool<N>,
     pub(crate) config: Config,
+    /// Durable mode: the persist sink mirroring the three commit
+    /// frontiers, `None` for a volatile queue (DESIGN.md §12).
+    #[cfg(feature = "durable")]
+    pub(crate) persist: Option<std::sync::Arc<dyn PersistSink>>,
 }
 
 // SAFETY: the queue owns its segments and handle nodes; all shared access
@@ -149,12 +163,24 @@ impl<const N: usize> RawQueue<N> {
             active_count: AtomicU64::new(0),
             pool: SegmentPool::new(config.segment_ceiling),
             config,
+            #[cfg(feature = "durable")]
+            persist: None,
         }
+    }
+
+    /// Creates an empty durable-mode queue mirroring every commit frontier
+    /// into `sink`. Values and protocol are unchanged; only the persist
+    /// hooks fire (DESIGN.md §12).
+    #[cfg(feature = "durable")]
+    pub fn with_persist(config: Config, sink: std::sync::Arc<dyn PersistSink>) -> Self {
+        let mut q = Self::with_config(config);
+        q.persist = Some(sink);
+        q
     }
 
     /// Per-operation view of where list extensions draw segments from.
     #[inline]
-    fn src<'a>(&'a self, h: &'a HandleNode<N>) -> SegSource<'a, N> {
+    pub(crate) fn src<'a>(&'a self, h: &'a HandleNode<N>) -> SegSource<'a, N> {
         SegSource {
             spare: &h.spare,
             alloc_count: &h.stats.segs_alloc,
@@ -202,9 +228,11 @@ impl<const N: usize> RawQueue<N> {
         let seg = self.q.load(Ordering::Acquire);
         // SAFETY: holding the token, no segment can be freed.
         let seg_id = unsafe { (*seg).id() };
-        let node = HandleNode::boxed(seg, seg_id);
+        // The node's ordinal doubles as its request-record slot in the
+        // durable image (one slow-path enqueue request per node).
+        let slot = self.handle_count.fetch_add(1, Ordering::Relaxed);
+        let node = HandleNode::boxed(seg, seg_id, slot);
         reg.splice(node);
-        self.handle_count.fetch_add(1, Ordering::Relaxed);
         self.active_count.fetch_add(1, Ordering::Relaxed);
         self.release_reclaim_token(token);
         node
@@ -413,11 +441,21 @@ impl<const N: usize> RawQueue<N> {
     fn enq_fast(&self, h: &HandleNode<N>, v: u64, cell_id: &mut u64) -> bool {
         let i = self.tail_index.fetch_add(1, Ordering::SeqCst);
         inject!("enq_fast::post_faa");
+        persist!(self, advance_tail(i + 1));
         *cell_id = i;
         // SAFETY: h.tail is ≥ the hazard this thread published and ≤ i/N
         // (it only ever advances through cells this thread obtained by FAA).
         let c = unsafe { &*find_cell(&h.tail, i, &self.src(h)) };
-        c.try_deposit(v)
+        if c.try_deposit(v) {
+            // Crash window: the value is volatile-visible but durably
+            // absent until the persist below lands — a crash here is
+            // recovered as "enqueue never happened" (provably rejected).
+            inject!("enq_fast::deposit_unpersisted");
+            persist!(self, deposit(i, v));
+            true
+        } else {
+            false
+        }
     }
 
     /// Lines 70–89: publish a request, keep trying cells, commit wherever
@@ -426,6 +464,7 @@ impl<const N: usize> RawQueue<N> {
     fn enq_slow(&self, h: &HandleNode<N>, v: u64, cell_id: u64) -> u64 {
         let r = &h.enq_req;
         r.publish(v, cell_id); // line 72
+        persist!(self, enq_publish(r.slot(), v));
         inject!("enq_slow::request_published");
         // Op id for the whole episode: the publish id (our failed FAA cell).
         wfq_obs::record!(wfq_obs::EventKind::EnqSlowEnter, cell_id, cell_id);
@@ -462,6 +501,13 @@ impl<const N: usize> RawQueue<N> {
 
         // Lines 87–88: request is claimed for some cell; find it and commit.
         let id = r.state().index;
+        // Crash window: the claim is volatile but not yet durable. A crash
+        // at the point below leaves only the PUBLISHED record — recovery
+        // rejects the value. Once the claim persist lands, a crash before
+        // the commit is the "claimed-but-uncommitted" state recovery must
+        // re-complete (the deterministic negative-control scenario).
+        inject!("enq_slow::claim_unpersisted");
+        persist!(self, enq_claim(r.slot(), v, id));
         inject!("enq_slow::pre_commit");
         // SAFETY: id ≥ cell_id ≥ (*h.tail).id * N, all hazard-protected.
         let c = unsafe { &*find_cell(&h.tail, id, &self.src(h)) };
@@ -472,9 +518,11 @@ impl<const N: usize> RawQueue<N> {
     }
 
     /// Lines 62–64: make the enqueue visible no later than `T > cid`.
-    fn enq_commit(&self, c: &Cell, v: u64, cid: u64) {
+    pub(crate) fn enq_commit(&self, c: &Cell, v: u64, cid: u64) {
         advance_index(&self.tail_index, cid + 1);
+        persist!(self, advance_tail(cid + 1));
         c.val.store(v, Ordering::SeqCst);
+        persist!(self, deposit(cid, v));
     }
 
     // ------------------------------------------------------------------
@@ -562,6 +610,11 @@ impl<const N: usize> RawQueue<N> {
                 // Line 123–126: we claimed it for this cell, or someone else
                 // claimed it for this cell and hasn't committed yet.
                 inject!("help_enq::pre_complete");
+                // The helper mirrors the claim it is about to commit: if it
+                // crashes inside enq_commit, the durable claim record lets
+                // recovery re-complete on the helper's behalf. Idempotent
+                // with the requester's own claim persist (same record).
+                persist!(self, enq_claim(r.slot(), v, i));
                 self.enq_commit(c, v, i);
                 HandleStats::bump(&h.stats.help_enq_commit);
                 // Op id: the publish id our claim CAS consumed. When the
@@ -682,11 +735,20 @@ impl<const N: usize> RawQueue<N> {
     fn deq_fast(&self, h: &HandleNode<N>) -> FastDeq {
         let i = self.head_index.fetch_add(1, Ordering::SeqCst);
         inject!("deq_fast::post_faa");
+        persist!(self, advance_head(i + 1));
         // SAFETY: h.head hazard-protected, ≤ i/N.
         let c = unsafe { &*find_cell(&h.head, i, &self.src(h)) };
         match self.help_enq(h, c, i) {
             HelpEnq::Empty => FastDeq::Empty(i),
-            HelpEnq::Value(v) if c.try_claim_deq_fast() => FastDeq::Value(v, i),
+            HelpEnq::Value(v) if c.try_claim_deq_fast() => {
+                // Crash window: the claim is volatile-only until the
+                // persist below — a crash here leaves the cell durably
+                // DEPOSITED and recovery redelivers the value (the
+                // crashed dequeue never durably happened).
+                inject!("deq_fast::consume_unpersisted");
+                persist!(self, consume(i, v));
+                FastDeq::Value(v, i)
+            }
             _ => FastDeq::Fail(i),
         }
     }
@@ -706,6 +768,11 @@ impl<const N: usize> RawQueue<N> {
         let c = unsafe { &*find_cell(&h.head, i, &self.src(h)) };
         let v = c.load_val();
         advance_index(&self.head_index, i + 1);
+        persist!(self, advance_head(i + 1));
+        #[cfg(feature = "durable")]
+        if v != VAL_TOP {
+            persist!(self, consume(i, v));
+        }
         wfq_obs::record!(wfq_obs::EventKind::DeqSlowExit, i, cid);
         // Slow dequeues always report `Slow`: the requester helps itself
         // through `help_deq` and cannot locally tell whether a peer
@@ -764,6 +831,7 @@ impl<const N: usize> RawQueue<N> {
 
         let base = self.tail_index.fetch_add(k, Ordering::SeqCst);
         inject!("enq_batch::post_faa");
+        persist!(self, advance_tail(base + k));
         let mut last_index = base + k - 1;
         let mut straggler: Option<usize> = None;
         for (j, &v) in vs.iter().enumerate() {
@@ -773,6 +841,7 @@ impl<const N: usize> RawQueue<N> {
             // consecutive indices hit find_cell's same-segment fast path).
             let c = unsafe { &*find_cell(&h.tail, i, &self.src(h)) };
             if c.try_deposit(v) {
+                persist!(self, deposit(i, v));
                 continue;
             }
             // A dequeuer poisoned cell i before the deposit: element j
@@ -890,6 +959,7 @@ impl<const N: usize> RawQueue<N> {
 
         let base = self.head_index.fetch_add(claim, Ordering::SeqCst);
         inject!("deq_batch::post_faa");
+        persist!(self, advance_head(base + claim));
         // Traverse the claimed cells with a *local* segment pointer, like
         // enq_slow's tmp_tail: a straggler's deq_slow advances h.head to
         // its announced cell, which can lie past claimed cells this loop
@@ -913,6 +983,7 @@ impl<const N: usize> RawQueue<N> {
                     wfq_obs::record!(wfq_obs::EventKind::DeqEmpty, i);
                 }
                 HelpEnq::Value(v) if c.try_claim_deq_fast() => {
+                    persist!(self, consume(i, v));
                     HandleStats::bump(&h.stats.deq_fast);
                     wfq_obs::record!(wfq_obs::EventKind::DeqFast, i);
                     out.push(v);
@@ -1067,6 +1138,17 @@ impl<const N: usize> RawQueue<N> {
                 || c.load_deq() == r_ptr
             {
                 inject!("help_deq::pre_complete");
+                // The helper (or self-helper) just consumed the announced
+                // cell for the request; mirror the consume before the
+                // completing CAS so a crash in between still records the
+                // delivery. Extra load is durable-only.
+                #[cfg(feature = "durable")]
+                {
+                    let cv = c.load_val();
+                    if cv != VAL_TOP {
+                        persist!(self, consume(s.index, cv));
+                    }
+                }
                 if r.cas_state((true, s.index), (false, s.index)) {
                     // line 196
                     HandleStats::bump(&h.stats.help_deq_complete);

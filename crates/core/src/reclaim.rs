@@ -208,6 +208,10 @@ impl<const N: usize> RawQueue<N> {
         // SAFETY: every hazard and every head/tail pointer is ≥ boundary;
         // the prefix [start, new_front) is unreachable.
         let (retired, recycled) = unsafe { self.pool.retire_list(start, new_front) };
+        // Advisory durable-mode note: every cell below the boundary is
+        // volatile-unreachable, so the store may compact their records at
+        // the next generation turn (DESIGN.md §12).
+        crate::persist::persist!(self, retire_below(boundary * N as u64));
         h.stats.segs_freed.fetch_add(retired, Ordering::Relaxed);
         wfq_obs::record!(wfq_obs::EventKind::SegFree, retired);
         if recycled > 0 {

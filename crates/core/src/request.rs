@@ -22,6 +22,11 @@ pub(crate) struct EnqReq {
     /// Packed `(pending, id)`; `id` is the cell index the requester obtained
     /// from its last failed fast-path FAA.
     pub state: AtomicU64,
+    /// The owning handle node's ordinal — the request-record slot in the
+    /// durable image (set once at node construction, read by the persist
+    /// hooks; kept unconditionally so `new` stays `const` and the layout
+    /// is feature-independent).
+    pub slot: AtomicU64,
 }
 
 impl EnqReq {
@@ -29,7 +34,14 @@ impl EnqReq {
         Self {
             val: AtomicU64::new(0),
             state: AtomicU64::new(0),
+            slot: AtomicU64::new(0),
         }
+    }
+
+    /// The durable request-record slot (the owning node's ordinal).
+    #[cfg_attr(not(feature = "durable"), allow(dead_code))]
+    pub(crate) fn slot(&self) -> u64 {
+        self.slot.load(Ordering::Relaxed)
     }
 
     /// Publishes a new request: value first, then state with release, so any

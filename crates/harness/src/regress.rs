@@ -35,6 +35,12 @@ pub struct Snapshot {
 }
 
 /// Parses a snapshot JSON document (the `results/BENCH_*.json` schema).
+///
+/// Rejects (rather than silently accepting) documents that a gate could
+/// never meaningfully compare: an empty `series` array, a series with an
+/// empty `points` array, and non-finite numbers. A truncated or
+/// mis-generated snapshot must fail loudly at parse time — a comparison
+/// over zero points would otherwise print `PASS` and mean nothing.
 pub fn parse_snapshot(doc: &str) -> Result<Snapshot, String> {
     let v = json::parse(doc)?;
     let str_field = |v: &Value, k: &str| -> Result<String, String> {
@@ -43,9 +49,14 @@ pub fn parse_snapshot(doc: &str) -> Result<Snapshot, String> {
             .ok_or_else(|| format!("snapshot missing string field {k:?}"))
     };
     let num_field = |v: &Value, k: &str| -> Result<f64, String> {
-        v.get(k)
+        let n = v
+            .get(k)
             .and_then(|x| x.as_num())
-            .ok_or_else(|| format!("snapshot point missing number field {k:?}"))
+            .ok_or_else(|| format!("snapshot point missing number field {k:?}"))?;
+        if !n.is_finite() {
+            return Err(format!("snapshot point field {k:?} is not a finite number"));
+        }
+        Ok(n)
     };
     let mut series = Vec::new();
     for s in v
@@ -53,6 +64,7 @@ pub fn parse_snapshot(doc: &str) -> Result<Snapshot, String> {
         .and_then(|x| x.as_arr())
         .ok_or("snapshot missing series array")?
     {
+        let name = str_field(&s, "queue")?;
         let mut points = Vec::new();
         for p in s
             .get("points")
@@ -65,10 +77,15 @@ pub fn parse_snapshot(doc: &str) -> Result<Snapshot, String> {
                 ci_half: num_field(&p, "ci_half")?,
             });
         }
-        series.push(Series {
-            name: str_field(&s, "queue")?,
-            points,
-        });
+        if points.is_empty() {
+            return Err(format!(
+                "series {name:?} has no points — refusing a snapshot the gate cannot compare"
+            ));
+        }
+        series.push(Series { name, points });
+    }
+    if series.is_empty() {
+        return Err("snapshot has no series — refusing a snapshot the gate cannot compare".into());
     }
     Ok(Snapshot {
         commit: v.get("commit").and_then(|x| x.as_str().map(str::to_string)),
@@ -257,7 +274,9 @@ pub struct LatencySnapshot {
     pub series: Vec<LatencySeries>,
 }
 
-/// Parses a latency snapshot JSON document.
+/// Parses a latency snapshot JSON document. Same strictness as
+/// [`parse_snapshot`]: empty `series`/`points` and non-finite numbers are
+/// parse errors, not vacuous gate passes.
 pub fn parse_latency_snapshot(doc: &str) -> Result<LatencySnapshot, String> {
     let v = json::parse(doc)?;
     let str_field = |v: &Value, k: &str| -> Result<String, String> {
@@ -266,9 +285,14 @@ pub fn parse_latency_snapshot(doc: &str) -> Result<LatencySnapshot, String> {
             .ok_or_else(|| format!("latency snapshot missing string field {k:?}"))
     };
     let num_field = |v: &Value, k: &str| -> Result<f64, String> {
-        v.get(k)
+        let n = v
+            .get(k)
             .and_then(|x| x.as_num())
-            .ok_or_else(|| format!("latency point missing number field {k:?}"))
+            .ok_or_else(|| format!("latency point missing number field {k:?}"))?;
+        if !n.is_finite() {
+            return Err(format!("latency point field {k:?} is not a finite number"));
+        }
+        Ok(n)
     };
     let bool_field = |v: &Value, k: &str| -> Result<bool, String> {
         match v.get(k) {
@@ -282,6 +306,7 @@ pub fn parse_latency_snapshot(doc: &str) -> Result<LatencySnapshot, String> {
         .and_then(|x| x.as_arr())
         .ok_or("latency snapshot missing series array")?
     {
+        let name = str_field(&s, "queue")?;
         let mut points = Vec::new();
         for p in s
             .get("points")
@@ -311,10 +336,17 @@ pub fn parse_latency_snapshot(doc: &str) -> Result<LatencySnapshot, String> {
                 sampled: num_field(&p, "sampled")? as u64,
             });
         }
-        series.push(LatencySeries {
-            name: str_field(&s, "queue")?,
-            points,
-        });
+        if points.is_empty() {
+            return Err(format!(
+                "latency series {name:?} has no points — refusing a snapshot the gate cannot compare"
+            ));
+        }
+        series.push(LatencySeries { name, points });
+    }
+    if series.is_empty() {
+        return Err(
+            "latency snapshot has no series — refusing a snapshot the gate cannot compare".into(),
+        );
     }
     Ok(LatencySnapshot {
         commit: v.get("commit").and_then(|x| x.as_str().map(str::to_string)),
@@ -632,6 +664,39 @@ mod tests {
         );
     }
 
+    #[test]
+    fn truncated_point_missing_ci_half_is_a_parse_error() {
+        let doc = "{\"benchmark\": \"figure2\", \"workload\": \"pairwise\", \"series\": [\
+                   {\"queue\": \"WF-10\", \"points\": [\
+                   {\"threads\": 1, \"mean_mops\": 10.0}]}]}";
+        let err = parse_snapshot(doc).unwrap_err();
+        assert!(err.contains("ci_half"), "message must name the field: {err}");
+    }
+
+    #[test]
+    fn empty_series_and_empty_points_are_parse_errors_not_vacuous_passes() {
+        // Zero series: the gate would compare nothing and print PASS.
+        let doc = "{\"benchmark\": \"x\", \"workload\": \"y\", \"series\": []}";
+        let err = parse_snapshot(doc).unwrap_err();
+        assert!(err.contains("no series"), "{err}");
+        // A series with zero points: same vacuity, one level down.
+        let doc = "{\"benchmark\": \"x\", \"workload\": \"y\", \"series\": [\
+                   {\"queue\": \"WF-10\", \"points\": []}]}";
+        let err = parse_snapshot(doc).unwrap_err();
+        assert!(err.contains("no points") && err.contains("WF-10"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_numbers_are_parse_errors() {
+        // `1e999` overflows f64 to +inf, which `str::parse` accepts — a
+        // CI comparison against infinity would never be significant.
+        let doc = "{\"benchmark\": \"x\", \"workload\": \"y\", \"series\": [\
+                   {\"queue\": \"WF-10\", \"points\": [\
+                   {\"threads\": 1, \"mean_mops\": 1e999, \"ci_half\": 0.1}]}]}";
+        let err = parse_snapshot(doc).unwrap_err();
+        assert!(err.contains("finite"), "{err}");
+    }
+
     // ------------------------------------------------------------------
     // Latency gate
     // ------------------------------------------------------------------
@@ -775,6 +840,17 @@ mod tests {
         // schedule/threads and the per-point latency fields).
         let tp = crate::report::render_json("figure2", "pairwise", &snap(1.0, 0.2).series);
         assert!(parse_latency_snapshot(&tp).is_err());
+    }
+
+    #[test]
+    fn empty_latency_series_and_points_are_parse_errors() {
+        let doc = "{\"benchmark\": \"latency_observatory\", \"workload\": \"w\", \
+                   \"schedule\": \"fixed\", \"threads\": 2, \"series\": []}";
+        assert!(parse_latency_snapshot(doc).unwrap_err().contains("no series"));
+        let doc = "{\"benchmark\": \"latency_observatory\", \"workload\": \"w\", \
+                   \"schedule\": \"fixed\", \"threads\": 2, \"series\": [\
+                   {\"queue\": \"WF-10\", \"points\": []}]}";
+        assert!(parse_latency_snapshot(doc).unwrap_err().contains("no points"));
     }
 
     #[test]

@@ -72,6 +72,12 @@ pub enum EventKind {
     /// `help_deq` stopped working on that request (arg: the request's
     /// final announced index; op: the request's publish id).
     HelpDeqExit = 22,
+    /// Durable-mode recovery replayed surviving values into a fresh queue
+    /// (arg: number of values re-enqueued).
+    RecoverReplay = 23,
+    /// Durable-mode recovery sealed torn cells — claimed by a pre-crash
+    /// FAA but with no durable deposit (arg: cells sealed).
+    RecoverSeal = 24,
 }
 
 /// Every kind, in discriminant order (index `k as usize` is `ALL[k]`).
@@ -99,6 +105,8 @@ pub const ALL_KINDS: &[EventKind] = &[
     EventKind::DeqBatch,
     EventKind::HelpDeqEnter,
     EventKind::HelpDeqExit,
+    EventKind::RecoverReplay,
+    EventKind::RecoverSeal,
 ];
 
 impl EventKind {
@@ -133,6 +141,8 @@ impl EventKind {
             EventKind::DeqBatch => "deq_batch",
             EventKind::HelpDeqEnter => "help_deq",
             EventKind::HelpDeqExit => "help_deq_exit",
+            EventKind::RecoverReplay => "recover_replay",
+            EventKind::RecoverSeal => "recover_seal",
         }
     }
 
@@ -160,6 +170,7 @@ impl EventKind {
             EventKind::EnqRejected
             | EventKind::ForcedCleanup
             | EventKind::SegRecycle => "bounded",
+            EventKind::RecoverReplay | EventKind::RecoverSeal => "recover",
         }
     }
 
@@ -186,6 +197,8 @@ impl EventKind {
             EventKind::EnqBatch | EventKind::DeqBatch => "width",
             EventKind::HelpDeqEnter => "request",
             EventKind::HelpDeqExit => "cell",
+            EventKind::RecoverReplay => "values",
+            EventKind::RecoverSeal => "cells",
         }
     }
 

@@ -78,10 +78,17 @@ mod imp {
         /// Sleep this many microseconds — force other threads through the
         /// window wholesale.
         Sleep(u32),
+        /// Kill the operation *inside* the window: notify the registered
+        /// crash observer (which typically snapshots a persistent image),
+        /// then unwind with a [`CrashPoint`] payload. The crash-injection
+        /// harness turns every inject point into a crash point with this;
+        /// tests catch the unwind with `std::panic::catch_unwind` and
+        /// classify it via [`crash_point`].
+        Crash,
     }
 
     impl FaultAction {
-        fn perform(self) {
+        fn perform(self, point: &'static str) {
             match self {
                 FaultAction::None => {}
                 FaultAction::Yield => std::thread::yield_now(),
@@ -93,8 +100,49 @@ mod imp {
                 FaultAction::Sleep(us) => {
                     std::thread::sleep(Duration::from_micros(u64::from(us)))
                 }
+                FaultAction::Crash => {
+                    if let Some(obs) = crash_observer().lock().unwrap().clone() {
+                        obs(point);
+                    }
+                    std::panic::panic_any(CrashPoint { point });
+                }
             }
         }
+    }
+
+    /// Unwind payload of a [`FaultAction::Crash`]: which injection point
+    /// the simulated crash fired at.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct CrashPoint {
+        /// The injection point name (`"area::window"`).
+        pub point: &'static str,
+    }
+
+    /// Classifies a caught unwind payload: `Some(point)` if it is a
+    /// [`CrashPoint`] from a [`FaultAction::Crash`], `None` for any other
+    /// panic (a real assertion failure must not be mistaken for a
+    /// simulated crash).
+    pub fn crash_point(payload: &(dyn std::any::Any + Send)) -> Option<&'static str> {
+        payload.downcast_ref::<CrashPoint>().map(|c| c.point)
+    }
+
+    fn crash_observer() -> &'static Mutex<Option<Hook>> {
+        static OBS: OnceLock<Mutex<Option<Hook>>> = OnceLock::new();
+        OBS.get_or_init(|| Mutex::new(None))
+    }
+
+    /// Registers a process-global observer run *before* the unwind of every
+    /// [`FaultAction::Crash`], on the crashing thread, still inside the
+    /// protocol window. This is the crash-snapshot hook: a durable-mode
+    /// test captures the persistent image here, at the exact instant of
+    /// the simulated power cut. Replaces any previous observer.
+    pub fn set_crash_observer(obs: Hook) {
+        *crash_observer().lock().unwrap() = Some(obs);
+    }
+
+    /// Removes the crash observer.
+    pub fn clear_crash_observer() {
+        *crash_observer().lock().unwrap() = None;
     }
 
     /// A test callback run when its point is hit (barriers, flags, …).
@@ -338,7 +386,7 @@ mod imp {
             }
         });
         for a in actions {
-            a.perform();
+            a.perform(point);
         }
         for h in hooks {
             h(point);
@@ -447,6 +495,43 @@ mod tests {
             for i in 0..64 {
                 assert_eq!(fuzz_decision(7, 0, "fault::det", i), FaultAction::None);
             }
+        }
+
+        #[test]
+        fn crash_action_unwinds_with_a_classifiable_payload() {
+            let plan = FaultPlan::new().at_hits("fault::crash_here", 1, 1, FaultAction::Crash);
+            let err = with_plan(plan, || {
+                std::panic::catch_unwind(|| {
+                    inject!("fault::crash_here"); // hit 0: survives
+                    inject!("fault::crash_here"); // hit 1: crashes
+                    unreachable!("crash rule must fire on hit 1");
+                })
+                .unwrap_err()
+            });
+            assert_eq!(crash_point(&*err), Some("fault::crash_here"));
+            // An ordinary panic is not classified as a crash.
+            let other = std::panic::catch_unwind(|| panic!("plain")).unwrap_err();
+            assert_eq!(crash_point(&*other), None);
+        }
+
+        #[test]
+        fn crash_observer_runs_before_the_unwind() {
+            let seen = Arc::new(std::sync::Mutex::new(Vec::<&'static str>::new()));
+            let s = Arc::clone(&seen);
+            set_crash_observer(Arc::new(move |p| s.lock().unwrap().push(p)));
+            let plan = FaultPlan::new().at("fault::crash_observed", FaultAction::Crash);
+            let err = with_plan(plan, || {
+                std::panic::catch_unwind(|| inject!("fault::crash_observed")).unwrap_err()
+            });
+            clear_crash_observer();
+            assert_eq!(crash_point(&*err), Some("fault::crash_observed"));
+            assert_eq!(*seen.lock().unwrap(), vec!["fault::crash_observed"]);
+            // Cleared observer: a later crash no longer notifies.
+            let plan = FaultPlan::new().at("fault::crash_observed", FaultAction::Crash);
+            with_plan(plan, || {
+                let _ = std::panic::catch_unwind(|| inject!("fault::crash_observed"));
+            });
+            assert_eq!(seen.lock().unwrap().len(), 1);
         }
 
         #[test]
