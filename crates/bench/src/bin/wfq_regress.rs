@@ -18,9 +18,15 @@
 //! wfq-regress --latency --baseline results/BENCH_latency.json \
 //!             --candidate /tmp/head_latency.json [--threshold 10]
 //!
+//! # cycles gate: per-phase cycles/op on the (queue, threads, phase) key
+//! # (the `total` pseudo-phase gates the whole op), higher is worse,
+//! # default threshold 10%
+//! wfq-regress --cycles --baseline results/BENCH_cycles.json \
+//!             --candidate /tmp/head_cycles.json [--threshold 10]
+//!
 //! # record: append a normalized one-line snapshot to the perf trajectory
 //! wfq-regress --record /tmp/head.json [--out results/trajectory.jsonl] \
-//!             [--commit SHA]           # add --latency for latency snapshots
+//!             [--commit SHA]   # add --latency / --cycles for those snapshots
 //! ```
 //!
 //! `--record` normalizes the snapshot (stable key order, fixed-precision
@@ -33,6 +39,7 @@
 use std::process::ExitCode;
 
 use wfq_bench::Args;
+use wfq_harness::cycles::{compare_cycles, cycles_trajectory_line, parse_cycles_snapshot};
 use wfq_harness::regress::{
     compare, compare_latency, latency_trajectory_line, parse_latency_snapshot, parse_snapshot,
     trajectory_line,
@@ -41,8 +48,8 @@ use wfq_harness::regress::{
 fn die(msg: &str) -> ExitCode {
     eprintln!("wfq-regress: {msg}");
     eprintln!(
-        "usage: wfq-regress [--latency] --baseline BASE.json --candidate CAND.json [--threshold PCT]\n\
-                wfq-regress [--latency] --record SNAP.json [--out results/trajectory.jsonl] [--commit SHA]"
+        "usage: wfq-regress [--latency|--cycles] --baseline BASE.json --candidate CAND.json [--threshold PCT]\n\
+                wfq-regress [--latency|--cycles] --record SNAP.json [--out results/trajectory.jsonl] [--commit SHA]"
     );
     ExitCode::from(2)
 }
@@ -82,6 +89,95 @@ fn append_line(out: &str, line: &str) -> Result<(), String> {
     body.push_str(line);
     body.push('\n');
     std::fs::write(out, body).map_err(|e| format!("cannot write {out}: {e}"))
+}
+
+fn load_cycles(path: &str) -> Result<wfq_harness::cycles::CyclesSnapshot, String> {
+    let doc =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_cycles_snapshot(&doc).map_err(|e| format!("{path}: {e}"))
+}
+
+/// The `--cycles` paths: the per-phase cycles gate (default threshold 10%)
+/// and cycles trajectory recording, on the snapshots of
+/// `cycle_ledger --json`.
+fn cycles_main(args: &Args) -> ExitCode {
+    if let Some(snap_path) = args.get("record") {
+        let mut snap = match load_cycles(snap_path) {
+            Ok(s) => s,
+            Err(e) => return die(&e),
+        };
+        if let Some(c) = args.get("commit") {
+            snap.commit = Some(c.to_string());
+        }
+        let out = args.get("out").unwrap_or("results/trajectory.jsonl");
+        if let Err(e) = append_line(out, &cycles_trajectory_line(&snap)) {
+            return die(&e);
+        }
+        eprintln!(
+            "wfq-regress: recorded {} / {} / {} ({} series) to {out}",
+            snap.benchmark,
+            snap.workload,
+            snap.perf.mode,
+            snap.series.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let (Some(base_path), Some(cand_path)) = (args.get("baseline"), args.get("candidate"))
+    else {
+        return die("need --baseline and --candidate (or --record)");
+    };
+    // Per-phase cycle counts are noisier than throughput means: the
+    // cycles gate defaults to 10%, like the latency gate.
+    let threshold = match threshold_or(args, 10.0) {
+        Ok(t) => t,
+        Err(e) => return die(&e),
+    };
+    let base = match load_cycles(base_path) {
+        Ok(s) => s,
+        Err(e) => return die(&e),
+    };
+    let cand = match load_cycles(cand_path) {
+        Ok(s) => s,
+        Err(e) => return die(&e),
+    };
+    if base.perf.mode != cand.perf.mode {
+        eprintln!(
+            "wfq-regress: warning: comparing different counter sources ({} vs {}) — \
+             cycle scales may not be commensurable",
+            base.perf.mode, cand.perf.mode
+        );
+    }
+
+    let cmp = compare_cycles(&base, &cand, threshold);
+    println!(
+        "wfq-regress: {} / {} cycles — baseline {} vs candidate {} (threshold {threshold}%)",
+        base.benchmark,
+        base.workload,
+        base.commit.as_deref().unwrap_or("?"),
+        cand.commit.as_deref().unwrap_or("?"),
+    );
+    print!("{}", cmp.render());
+    if cmp.deltas.is_empty() {
+        return die(
+            "no overlapping (queue, threads, phase) points between the snapshots — nothing was gated",
+        );
+    }
+    let regressions = cmp.regressions();
+    if regressions.is_empty() {
+        println!(
+            "PASS: no significant per-phase cycle regression past {threshold}% across {} points",
+            cmp.deltas.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "FAIL: {} of {} points regressed (significant cycles/op growth > {threshold}%)",
+            regressions.len(),
+            cmp.deltas.len()
+        );
+        ExitCode::FAILURE
+    }
 }
 
 /// The `--latency` paths: p99 gate (default threshold 10%) and latency
@@ -168,6 +264,9 @@ fn main() -> ExitCode {
 
     if args.flag("latency") {
         return latency_main(&args);
+    }
+    if args.flag("cycles") {
+        return cycles_main(&args);
     }
 
     if let Some(snap_path) = args.get("record") {

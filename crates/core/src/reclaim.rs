@@ -212,10 +212,10 @@ impl<const N: usize> RawQueue<N> {
         // volatile-unreachable, so the store may compact their records at
         // the next generation turn (DESIGN.md §12).
         crate::persist::persist!(self, retire_below(boundary * N as u64));
-        h.stats.segs_freed.fetch_add(retired, Ordering::Relaxed);
+        HandleStats::add(&h.stats.segs_freed, retired);
         wfq_obs::record!(wfq_obs::EventKind::SegFree, retired);
         if recycled > 0 {
-            h.stats.segs_recycled.fetch_add(recycled, Ordering::Relaxed);
+            HandleStats::add(&h.stats.segs_recycled, recycled);
             wfq_obs::record!(wfq_obs::EventKind::SegRecycle, recycled);
         }
     }

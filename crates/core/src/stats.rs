@@ -53,7 +53,22 @@ pub(crate) struct HandleStats {
 impl HandleStats {
     #[inline]
     pub fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+        Self::add(counter, 1);
+    }
+
+    /// Owner-only relaxed increment: a plain load + store pair instead of a
+    /// `lock`-prefixed RMW. Sound because every `HandleStats` counter has
+    /// exactly one writer — the thread that owns the handle (helpers and
+    /// the elected cleaner bump their *own* handle's counters, never a
+    /// peer's), and handle ownership transfers only through registration,
+    /// which synchronizes. Snapshot readers race only with the relaxed
+    /// store, which is fine for monotone counters. On x86 this turns the
+    /// fast path's stats update from a serializing `lock inc` (~20 cycles)
+    /// into two ordinary cache-hit accesses.
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        let cur = counter.load(Ordering::Relaxed);
+        counter.store(cur.wrapping_add(n), Ordering::Relaxed);
     }
 }
 

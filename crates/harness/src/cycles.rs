@@ -1,0 +1,1077 @@
+//! Cycle-ledger snapshots: schema, exposition, gap attribution, and the
+//! `wfq-regress --cycles` comparison engine.
+//!
+//! The `cycle_ledger` binary measures per-op hardware-counter costs for
+//! each backend and, for the WF queue, the per-phase self-time ledger from
+//! `wfq_obs::ledger`. This module owns everything downstream of the
+//! measurement: the normalized `results/BENCH_cycles.json` document
+//! ([`render_cycles_json`] / [`parse_cycles_snapshot`]), the WF−F&A gap
+//! attribution arithmetic ([`attribute_gap`]), the Prometheus exposition
+//! ([`render_cycles_prometheus`]), the trajectory line, and the per-phase
+//! regression gate ([`compare_cycles`]).
+//!
+//! Two drift guards, both by construction rather than by parallel lists:
+//! counter-derived fields (`cycles_per_op`, `instructions_per_op`,
+//! `l1d_miss_per_op`, …) are stored in an array indexed by
+//! `wfq_obs::CounterKind` and every renderer/parser loops
+//! `wfq_obs::ALL_COUNTERS`, so a new counter kind extends the JSON schema,
+//! the parser, and the exposition in one place; phase names come from
+//! `wfq_obs::Phase::name`, and the parity test walks `ALL_PHASES`.
+
+use crate::json::{self, Value};
+use wfq_obs::{CounterKind, Phase, ALL_COUNTERS, NUM_COUNTERS};
+
+/// Mean per-op cost of one ledger phase, with a Student-t 95% CI half-width
+/// over invocations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseCost {
+    /// Phase name (`Phase::name` — `faa`, `find_cell`, …).
+    pub phase: String,
+    /// Mean phase self-cycles per operation.
+    pub cycles_per_op: f64,
+    /// 95% CI half-width of `cycles_per_op` over invocations.
+    pub ci_half: f64,
+    /// Mean phase entries (enter/exit pairs) per operation.
+    pub entries_per_op: f64,
+}
+
+/// One `(queue, threads)` cycles measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CyclesPoint {
+    /// Concurrency level (producer+consumer total, as in BENCH_pairwise).
+    pub threads: usize,
+    /// Per-op counter means, indexed by `CounterKind as usize`
+    /// (`counters_per_op[Cycles]` is the headline cycles/op).
+    pub counters_per_op: [f64; NUM_COUNTERS],
+    /// 95% CI half-width of cycles/op over invocations.
+    pub ci_half: f64,
+    /// True when cycles are multiplex-scaled or TSC-derived rather than a
+    /// direct hardware measurement.
+    pub estimated: bool,
+    /// Percent of this point's op cycles the phase ledger accounts for
+    /// (Σ phase self-cycles / total op cycles × 100; 0 for unledgered
+    /// backends).
+    pub attributed_pct: f64,
+    /// Per-phase ledger costs (empty for backends without `phase!` hooks).
+    pub phases: Vec<PhaseCost>,
+}
+
+impl CyclesPoint {
+    /// Headline cycles per op.
+    pub fn cycles_per_op(&self) -> f64 {
+        self.counters_per_op[CounterKind::Cycles as usize]
+    }
+
+    /// One counter's per-op mean.
+    pub fn counter_per_op(&self, kind: CounterKind) -> f64 {
+        self.counters_per_op[kind as usize]
+    }
+
+    /// Sum of per-phase self-cycles (the ledger's accounted total).
+    pub fn phase_sum(&self) -> f64 {
+        self.phases.iter().map(|p| p.cycles_per_op).sum()
+    }
+}
+
+/// One backend's cycles series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CyclesSeries {
+    /// Backend display name (`FAA`, `Mutex<VecDeque>`, `WF-10`, …).
+    pub name: String,
+    /// One point per measured thread count.
+    pub points: Vec<CyclesPoint>,
+}
+
+/// How the perf layer sourced its numbers for this snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfMode {
+    /// `"hardware"` or `"tsc-only"` (`PerfStatus::mode`).
+    pub mode: String,
+    /// Whether reads went through user-space `rdpmc`.
+    pub rdpmc: bool,
+    /// Denial cause in tsc-only mode (empty in hardware mode).
+    pub reason: String,
+}
+
+/// One phase's contribution to the WF−F&A cycle gap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GapPhase {
+    /// Phase name.
+    pub phase: String,
+    /// The phase's per-op self-cycles in the candidate.
+    pub cycles_per_op: f64,
+    /// The phase's contribution to the gap, per op. For the `faa` phase
+    /// this is the *excess* over the baseline's whole op (the baseline IS
+    /// a fetch-and-add); for every other phase it is the phase cost itself.
+    pub gap_contribution: f64,
+    /// `gap_contribution` as a percentage of the total gap.
+    pub share_pct: f64,
+}
+
+/// The differential table attributing the candidate−baseline cycle delta
+/// phase by phase (the tentpole's headline artifact).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GapAttribution {
+    /// Baseline backend name (`FAA`).
+    pub baseline: String,
+    /// Candidate backend name (`WF-10`).
+    pub candidate: String,
+    /// Candidate cycles/op − baseline cycles/op.
+    pub cycle_delta_per_op: f64,
+    /// Percent of the delta the per-phase ledger accounts for (the
+    /// acceptance criterion wants ≥ 80 at 1 thread).
+    pub attributed_pct: f64,
+    /// Per-phase breakdown, in `ALL_PHASES` order.
+    pub phases: Vec<GapPhase>,
+}
+
+/// A parsed cycles snapshot (`results/BENCH_cycles.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CyclesSnapshot {
+    /// Commit the snapshot measured.
+    pub commit: Option<String>,
+    /// Benchmark name (`cycle_ledger`).
+    pub benchmark: String,
+    /// Workload label (`pairwise`).
+    pub workload: String,
+    /// Counter sourcing for the whole run.
+    pub perf: PerfMode,
+    /// One series per backend.
+    pub series: Vec<CyclesSeries>,
+    /// The single-thread gap attribution (absent when the run did not
+    /// include both the baseline and the candidate).
+    pub delta: Option<GapAttribution>,
+}
+
+impl CyclesSnapshot {
+    /// Finds a `(queue, threads)` point.
+    pub fn point(&self, queue: &str, threads: usize) -> Option<&CyclesPoint> {
+        self.series
+            .iter()
+            .find(|s| s.name == queue)?
+            .points
+            .iter()
+            .find(|p| p.threads == threads)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Gap attribution (pure arithmetic, unit-testable)
+// ----------------------------------------------------------------------
+
+/// Attributes the candidate−baseline cycle delta phase by phase.
+///
+/// The baseline (bare F&A) *is* the candidate's `faa` phase, so the `faa`
+/// row contributes only its excess over the baseline's whole op; every
+/// other phase is pure overhead relative to the baseline and contributes
+/// its full self-cost. `attributed_pct` is the summed contributions over
+/// the gap — the ≥80% acceptance bar — and degrades to 0 (never NaN/∞)
+/// when the gap is non-positive.
+pub fn attribute_gap(
+    baseline_name: &str,
+    base: &CyclesPoint,
+    candidate_name: &str,
+    cand: &CyclesPoint,
+) -> GapAttribution {
+    let gap = cand.cycles_per_op() - base.cycles_per_op();
+    let mut phases = Vec::new();
+    let mut explained = 0.0;
+    for p in &cand.phases {
+        let contribution = if p.phase == Phase::Faa.name() {
+            (p.cycles_per_op - base.cycles_per_op()).max(0.0)
+        } else {
+            p.cycles_per_op
+        };
+        explained += contribution;
+        phases.push(GapPhase {
+            phase: p.phase.clone(),
+            cycles_per_op: p.cycles_per_op,
+            gap_contribution: contribution,
+            share_pct: if gap > 0.0 {
+                100.0 * contribution / gap
+            } else {
+                0.0
+            },
+        });
+    }
+    GapAttribution {
+        baseline: baseline_name.to_string(),
+        candidate: candidate_name.to_string(),
+        cycle_delta_per_op: gap,
+        attributed_pct: if gap > 0.0 {
+            100.0 * explained / gap
+        } else {
+            0.0
+        },
+        phases,
+    }
+}
+
+// ----------------------------------------------------------------------
+// JSON render / parse
+// ----------------------------------------------------------------------
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render_point(out: &mut String, p: &CyclesPoint, indent: &str) {
+    out.push_str(&format!("{indent}{{\n{indent}  \"threads\": {},\n", p.threads));
+    // Counter fields derive their names from the canonical enumeration:
+    // `<kind>_per_op`. A new CounterKind lands here automatically.
+    for kind in ALL_COUNTERS {
+        out.push_str(&format!(
+            "{indent}  \"{}_per_op\": {:.6},\n",
+            kind.name(),
+            p.counter_per_op(kind)
+        ));
+    }
+    out.push_str(&format!("{indent}  \"ci_half\": {:.6},\n", p.ci_half));
+    out.push_str(&format!("{indent}  \"estimated\": {},\n", p.estimated));
+    out.push_str(&format!(
+        "{indent}  \"attributed_pct\": {:.3},\n",
+        p.attributed_pct
+    ));
+    out.push_str(&format!("{indent}  \"phases\": ["));
+    for (i, ph) in p.phases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n{indent}    {{\"phase\": \"{}\", \"cycles_per_op\": {:.6}, \"ci_half\": {:.6}, \"entries_per_op\": {:.6}}}",
+            esc(&ph.phase), ph.cycles_per_op, ph.ci_half, ph.entries_per_op
+        ));
+    }
+    if !p.phases.is_empty() {
+        out.push_str(&format!("\n{indent}  "));
+    }
+    out.push_str(&format!("]\n{indent}}}"));
+}
+
+/// Renders a cycles snapshot as the normalized `BENCH_cycles.json`
+/// document.
+pub fn render_cycles_json(snap: &CyclesSnapshot) -> String {
+    let mut out = String::from("{\n");
+    if let Some(c) = &snap.commit {
+        out.push_str(&format!("  \"commit\": \"{}\",\n", esc(c)));
+    }
+    out.push_str(&format!(
+        "  \"benchmark\": \"{}\",\n  \"workload\": \"{}\",\n",
+        esc(&snap.benchmark),
+        esc(&snap.workload)
+    ));
+    out.push_str(&format!(
+        "  \"perf\": {{\"mode\": \"{}\", \"rdpmc\": {}, \"reason\": \"{}\"}},\n",
+        esc(&snap.perf.mode),
+        snap.perf.rdpmc,
+        esc(&snap.perf.reason)
+    ));
+    out.push_str("  \"series\": [\n");
+    for (si, s) in snap.series.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\n      \"queue\": \"{}\",\n      \"points\": [\n",
+            esc(&s.name)
+        ));
+        for (pi, p) in s.points.iter().enumerate() {
+            render_point(&mut out, p, "        ");
+            if pi + 1 < s.points.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("      ]\n    }");
+        if si + 1 < snap.series.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]");
+    if let Some(d) = &snap.delta {
+        out.push_str(&format!(
+            ",\n  \"delta\": {{\n    \"baseline\": \"{}\",\n    \"candidate\": \"{}\",\n    \"cycle_delta_per_op\": {:.6},\n    \"attributed_pct\": {:.3},\n    \"phases\": [",
+            esc(&d.baseline), esc(&d.candidate), d.cycle_delta_per_op, d.attributed_pct
+        ));
+        for (i, p) in d.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n      {{\"phase\": \"{}\", \"cycles_per_op\": {:.6}, \"gap_contribution\": {:.6}, \"share_pct\": {:.3}}}",
+                esc(&p.phase), p.cycles_per_op, p.gap_contribution, p.share_pct
+            ));
+        }
+        if !d.phases.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push_str("]\n  }");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Parses a cycles snapshot. Same strictness discipline as
+/// [`crate::regress::parse_snapshot`]: empty `series`/`points` arrays,
+/// non-finite numbers, unknown phase names, and a missing `perf` block are
+/// parse errors, not vacuous gate passes.
+pub fn parse_cycles_snapshot(doc: &str) -> Result<CyclesSnapshot, String> {
+    let v = json::parse(doc)?;
+    let str_field = |v: &Value, k: &str| -> Result<String, String> {
+        v.get(k)
+            .and_then(|x| x.as_str().map(str::to_string))
+            .ok_or_else(|| format!("cycles snapshot missing string field {k:?}"))
+    };
+    let num_field = |v: &Value, k: &str| -> Result<f64, String> {
+        let n = v
+            .get(k)
+            .and_then(|x| x.as_num())
+            .ok_or_else(|| format!("cycles point missing number field {k:?}"))?;
+        if !n.is_finite() {
+            return Err(format!("cycles point field {k:?} is not a finite number"));
+        }
+        Ok(n)
+    };
+    let bool_field = |v: &Value, k: &str| -> Result<bool, String> {
+        match v.get(k) {
+            Some(Value::Bool(b)) => Ok(*b),
+            _ => Err(format!("cycles point missing bool field {k:?}")),
+        }
+    };
+
+    let perf_v = v.get("perf").ok_or("cycles snapshot missing perf block")?;
+    let perf = PerfMode {
+        mode: str_field(&perf_v, "mode")?,
+        rdpmc: bool_field(&perf_v, "rdpmc")?,
+        reason: str_field(&perf_v, "reason")?,
+    };
+
+    let mut series = Vec::new();
+    for s in v
+        .get("series")
+        .and_then(|x| x.as_arr())
+        .ok_or("cycles snapshot missing series array")?
+    {
+        let name = str_field(&s, "queue")?;
+        let mut points = Vec::new();
+        for p in s
+            .get("points")
+            .and_then(|x| x.as_arr())
+            .ok_or("cycles series missing points array")?
+        {
+            let mut counters_per_op = [0.0; NUM_COUNTERS];
+            for kind in ALL_COUNTERS {
+                counters_per_op[kind as usize] =
+                    num_field(&p, &format!("{}_per_op", kind.name()))?;
+            }
+            let mut phases = Vec::new();
+            for ph in p
+                .get("phases")
+                .and_then(|x| x.as_arr())
+                .ok_or("cycles point missing phases array")?
+            {
+                let phase = str_field(&ph, "phase")?;
+                if Phase::from_name(&phase).is_none() {
+                    return Err(format!("cycles point has unknown phase {phase:?}"));
+                }
+                phases.push(PhaseCost {
+                    phase,
+                    cycles_per_op: num_field(&ph, "cycles_per_op")?,
+                    ci_half: num_field(&ph, "ci_half")?,
+                    entries_per_op: num_field(&ph, "entries_per_op")?,
+                });
+            }
+            points.push(CyclesPoint {
+                threads: num_field(&p, "threads")? as usize,
+                counters_per_op,
+                ci_half: num_field(&p, "ci_half")?,
+                estimated: bool_field(&p, "estimated")?,
+                attributed_pct: num_field(&p, "attributed_pct")?,
+                phases,
+            });
+        }
+        if points.is_empty() {
+            return Err(format!(
+                "cycles series {name:?} has no points — refusing a snapshot the gate cannot compare"
+            ));
+        }
+        series.push(CyclesSeries { name, points });
+    }
+    if series.is_empty() {
+        return Err(
+            "cycles snapshot has no series — refusing a snapshot the gate cannot compare".into(),
+        );
+    }
+
+    let delta = match v.get("delta") {
+        None => None,
+        Some(d) => {
+            let mut phases = Vec::new();
+            if let Some(arr) = d.get("phases").and_then(|x| x.as_arr()) {
+                for p in arr {
+                    phases.push(GapPhase {
+                        phase: str_field(&p, "phase")?,
+                        cycles_per_op: num_field(&p, "cycles_per_op")?,
+                        gap_contribution: num_field(&p, "gap_contribution")?,
+                        share_pct: num_field(&p, "share_pct")?,
+                    });
+                }
+            }
+            Some(GapAttribution {
+                baseline: str_field(&d, "baseline")?,
+                candidate: str_field(&d, "candidate")?,
+                cycle_delta_per_op: num_field(&d, "cycle_delta_per_op")?,
+                attributed_pct: num_field(&d, "attributed_pct")?,
+                phases,
+            })
+        }
+    };
+
+    Ok(CyclesSnapshot {
+        commit: v.get("commit").and_then(|x| x.as_str().map(str::to_string)),
+        benchmark: str_field(&v, "benchmark")?,
+        workload: str_field(&v, "workload")?,
+        perf,
+        series,
+        delta,
+    })
+}
+
+// ----------------------------------------------------------------------
+// Prometheus exposition
+// ----------------------------------------------------------------------
+
+/// Renders a cycles snapshot in the Prometheus text format: per-backend
+/// `wfq_cycles_per_op` gauges labeled by `phase` (`total` plus each
+/// ledgered phase), the companion per-op counter gauges (instructions,
+/// branch misses), `wfq_cache_miss_per_op` labeled by cache `level`, the
+/// estimated/measured flag, and the ledger's attribution coverage.
+pub fn render_cycles_prometheus(snap: &CyclesSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("# HELP wfq_cycles_per_op Mean cycles per operation, by protocol phase (total = whole op)\n# TYPE wfq_cycles_per_op gauge\n");
+    for s in &snap.series {
+        for p in &s.points {
+            out.push_str(&format!(
+                "wfq_cycles_per_op{{queue=\"{}\",threads=\"{}\",phase=\"total\"}} {:.3}\n",
+                s.name,
+                p.threads,
+                p.cycles_per_op()
+            ));
+            for ph in &p.phases {
+                out.push_str(&format!(
+                    "wfq_cycles_per_op{{queue=\"{}\",threads=\"{}\",phase=\"{}\"}} {:.3}\n",
+                    s.name, p.threads, ph.phase, ph.cycles_per_op
+                ));
+            }
+        }
+    }
+    out.push_str("# HELP wfq_cycles_estimated Whether cycle counts are estimates (multiplex-scaled or TSC-derived) rather than direct measurements\n# TYPE wfq_cycles_estimated gauge\n");
+    for s in &snap.series {
+        for p in &s.points {
+            out.push_str(&format!(
+                "wfq_cycles_estimated{{queue=\"{}\",threads=\"{}\"}} {}\n",
+                s.name,
+                p.threads,
+                if p.estimated { 1 } else { 0 }
+            ));
+        }
+    }
+    out.push_str("# HELP wfq_cycles_attributed_pct Percent of op cycles the phase ledger accounts for\n# TYPE wfq_cycles_attributed_pct gauge\n");
+    for s in &snap.series {
+        for p in &s.points {
+            if !p.phases.is_empty() {
+                out.push_str(&format!(
+                    "wfq_cycles_attributed_pct{{queue=\"{}\",threads=\"{}\"}} {:.1}\n",
+                    s.name, p.threads, p.attributed_pct
+                ));
+            }
+        }
+    }
+    // Non-cycle counters: the cache-miss kinds share one level-labeled
+    // metric; the rest get their own gauge. The match is exhaustive over
+    // CounterKind so a new counter cannot silently skip the exposition.
+    for kind in ALL_COUNTERS {
+        let (metric, label): (&str, Option<&str>) = match kind {
+            CounterKind::Cycles => continue, // rendered above, phase-labeled
+            CounterKind::Instructions => ("wfq_instructions_per_op", None),
+            CounterKind::L1dMisses => ("wfq_cache_miss_per_op", Some("l1d")),
+            CounterKind::LlcMisses => ("wfq_cache_miss_per_op", Some("llc")),
+            CounterKind::BranchMisses => ("wfq_branch_miss_per_op", None),
+        };
+        if label.is_none() || label == Some("l1d") {
+            // Emit each metric's header once (the two cache levels share).
+            let help = match metric {
+                "wfq_instructions_per_op" => "Mean retired instructions per operation",
+                "wfq_cache_miss_per_op" => "Mean cache read misses per operation, by cache level",
+                _ => "Mean branch mispredictions per operation",
+            };
+            out.push_str(&format!(
+                "# HELP {metric} {help}\n# TYPE {metric} gauge\n"
+            ));
+        }
+        for s in &snap.series {
+            for p in &s.points {
+                match label {
+                    Some(level) => out.push_str(&format!(
+                        "{metric}{{queue=\"{}\",threads=\"{}\",level=\"{level}\"}} {:.4}\n",
+                        s.name,
+                        p.threads,
+                        p.counter_per_op(kind)
+                    )),
+                    None => out.push_str(&format!(
+                        "{metric}{{queue=\"{}\",threads=\"{}\"}} {:.4}\n",
+                        s.name,
+                        p.threads,
+                        p.counter_per_op(kind)
+                    )),
+                }
+            }
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// Comparison (the --cycles gate)
+// ----------------------------------------------------------------------
+
+/// One `(queue, threads, phase)` cycles comparison. Polarity mirrors the
+/// latency gate: **higher is worse**. The pseudo-phase `total` carries the
+/// whole-op comparison.
+#[derive(Debug, Clone)]
+pub struct CyclesDelta {
+    /// Queue display name.
+    pub queue: String,
+    /// Concurrency level.
+    pub threads: usize,
+    /// Phase name, or `total`.
+    pub phase: String,
+    /// Baseline `(cycles_per_op, ci_half)`.
+    pub base: (f64, f64),
+    /// Candidate `(cycles_per_op, ci_half)`.
+    pub cand: (f64, f64),
+    /// Relative change, percent (positive = more cycles = worse).
+    pub pct_change: f64,
+    /// Whether the 95% CIs do not overlap.
+    pub significant: bool,
+    /// Fails the gate.
+    pub regressed: bool,
+    /// Significant improvement past the threshold: reported, never fails.
+    pub improved: bool,
+}
+
+/// The result of comparing candidate cycles against a baseline.
+#[derive(Debug)]
+pub struct CyclesComparison {
+    /// Every matched `(queue, threads, phase)` point.
+    pub deltas: Vec<CyclesDelta>,
+    /// Keys present in only one snapshot.
+    pub unmatched: Vec<String>,
+}
+
+impl CyclesComparison {
+    /// The deltas that fail the gate.
+    pub fn regressions(&self) -> Vec<&CyclesDelta> {
+        self.deltas.iter().filter(|d| d.regressed).collect()
+    }
+
+    /// Human-readable comparison table (cycles/op).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<14} {:>7} {:<10} {:>18} {:>18} {:>8}  verdict",
+            "queue", "threads", "phase", "baseline", "candidate", "delta"
+        );
+        for d in &self.deltas {
+            let verdict = if d.regressed {
+                "REGRESSION"
+            } else if d.improved {
+                "improved"
+            } else if d.significant {
+                "within threshold"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                out,
+                "{:<14} {:>7} {:<10} {:>10.1} ±{:<6.1} {:>10.1} ±{:<6.1} {:>+7.1}%  {}",
+                d.queue,
+                d.threads,
+                d.phase,
+                d.base.0,
+                d.base.1,
+                d.cand.0,
+                d.cand.1,
+                d.pct_change,
+                verdict
+            );
+        }
+        for u in &self.unmatched {
+            let _ = writeln!(out, "unmatched: {u}");
+        }
+        out
+    }
+}
+
+/// Compares candidate cycles against baseline on `(queue, threads, phase)`
+/// keys — the whole-op `total` plus every ledgered phase. A point
+/// **regresses** when the candidate burns *more* cycles, the relative
+/// increase exceeds `threshold_pct` (the gate's default is 10 — per-phase
+/// cycle counts are noisier than throughput means), and the 95% CIs do not
+/// overlap: the same three-part test (Georges et al.) as every other gate
+/// in the harness, with the latency gate's polarity.
+pub fn compare_cycles(
+    base: &CyclesSnapshot,
+    cand: &CyclesSnapshot,
+    threshold_pct: f64,
+) -> CyclesComparison {
+    let mut deltas = Vec::new();
+    let mut unmatched = Vec::new();
+    let push = |queue: &str,
+                    threads: usize,
+                    phase: &str,
+                    b: (f64, f64),
+                    c: (f64, f64),
+                    deltas: &mut Vec<CyclesDelta>| {
+        let diff = c.0 - b.0;
+        let pct_change = if b.0 == 0.0 { 0.0 } else { 100.0 * diff / b.0 };
+        let significant = diff.abs() > b.1 + c.1;
+        deltas.push(CyclesDelta {
+            queue: queue.to_string(),
+            threads,
+            phase: phase.to_string(),
+            base: b,
+            cand: c,
+            pct_change,
+            significant,
+            regressed: significant && pct_change > threshold_pct,
+            improved: significant && pct_change < -threshold_pct,
+        });
+    };
+    for bs in &base.series {
+        let Some(cs) = cand.series.iter().find(|s| s.name == bs.name) else {
+            unmatched.push(format!("{} (baseline only)", bs.name));
+            continue;
+        };
+        for bp in &bs.points {
+            let Some(cp) = cs.points.iter().find(|p| p.threads == bp.threads) else {
+                unmatched.push(format!("{} @{} (baseline only)", bs.name, bp.threads));
+                continue;
+            };
+            push(
+                &bs.name,
+                bp.threads,
+                "total",
+                (bp.cycles_per_op(), bp.ci_half),
+                (cp.cycles_per_op(), cp.ci_half),
+                &mut deltas,
+            );
+            for bph in &bp.phases {
+                let Some(cph) = cp.phases.iter().find(|p| p.phase == bph.phase) else {
+                    unmatched.push(format!(
+                        "{} @{} phase {} (baseline only)",
+                        bs.name, bp.threads, bph.phase
+                    ));
+                    continue;
+                };
+                push(
+                    &bs.name,
+                    bp.threads,
+                    &bph.phase,
+                    (bph.cycles_per_op, bph.ci_half),
+                    (cph.cycles_per_op, cph.ci_half),
+                    &mut deltas,
+                );
+            }
+            for cph in &cp.phases {
+                if !bp.phases.iter().any(|p| p.phase == cph.phase) {
+                    unmatched.push(format!(
+                        "{} @{} phase {} (candidate only)",
+                        bs.name, bp.threads, cph.phase
+                    ));
+                }
+            }
+        }
+    }
+    for cs in &cand.series {
+        if !base.series.iter().any(|s| s.name == cs.name) {
+            unmatched.push(format!("{} (candidate only)", cs.name));
+        }
+    }
+    CyclesComparison { deltas, unmatched }
+}
+
+/// Renders one cycles snapshot as a single normalized JSON line for
+/// `results/trajectory.jsonl` (same compaction discipline as
+/// [`crate::regress::trajectory_line`]).
+pub fn cycles_trajectory_line(snap: &CyclesSnapshot) -> String {
+    let mut out = String::from("{");
+    if let Some(c) = &snap.commit {
+        out.push_str(&format!("\"commit\": \"{}\", ", esc(c)));
+    }
+    out.push_str(&format!(
+        "\"benchmark\": \"{}\", \"workload\": \"{}\", \"perf\": \"{}\", \"series\": [",
+        esc(&snap.benchmark),
+        esc(&snap.workload),
+        esc(&snap.perf.mode)
+    ));
+    for (si, s) in snap.series.iter().enumerate() {
+        if si > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{{\"queue\": \"{}\", \"points\": [", esc(&s.name)));
+        for (pi, p) in s.points.iter().enumerate() {
+            if pi > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"threads\": {}, \"cycles_per_op\": {:.3}, \"ci_half\": {:.3}, \"attributed_pct\": {:.1}",
+                p.threads,
+                p.cycles_per_op(),
+                p.ci_half,
+                p.attributed_pct
+            ));
+            if !p.phases.is_empty() {
+                out.push_str(", \"phases\": {");
+                for (qi, ph) in p.phases.iter().enumerate() {
+                    if qi > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("\"{}\": {:.3}", esc(&ph.phase), ph.cycles_per_op));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]");
+    if let Some(d) = &snap.delta {
+        out.push_str(&format!(
+            ", \"delta\": {{\"baseline\": \"{}\", \"candidate\": \"{}\", \"cycle_delta_per_op\": {:.3}, \"attributed_pct\": {:.1}}}",
+            esc(&d.baseline), esc(&d.candidate), d.cycle_delta_per_op, d.attributed_pct
+        ));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfq_obs::ALL_PHASES;
+
+    /// A point with every phase and every counter populated with unique
+    /// values — built by walking the canonical enumerations, so adding a
+    /// Phase or CounterKind automatically widens every test below.
+    fn full_point(threads: usize, scale: f64) -> CyclesPoint {
+        let mut counters_per_op = [0.0; NUM_COUNTERS];
+        for (i, kind) in ALL_COUNTERS.iter().enumerate() {
+            counters_per_op[*kind as usize] = scale * (100.0 + i as f64);
+        }
+        let phases: Vec<PhaseCost> = ALL_PHASES
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PhaseCost {
+                phase: p.name().to_string(),
+                cycles_per_op: scale * (10.0 + i as f64),
+                ci_half: 0.5,
+                entries_per_op: 1.0 + i as f64 * 0.1,
+            })
+            .collect();
+        let total = counters_per_op[CounterKind::Cycles as usize];
+        let sum: f64 = phases.iter().map(|p| p.cycles_per_op).sum();
+        CyclesPoint {
+            threads,
+            counters_per_op,
+            ci_half: 1.0,
+            estimated: true,
+            attributed_pct: 100.0 * sum / total,
+            phases,
+        }
+    }
+
+    fn sample_snapshot() -> CyclesSnapshot {
+        let faa = CyclesPoint {
+            threads: 1,
+            counters_per_op: {
+                let mut c = [0.0; NUM_COUNTERS];
+                c[CounterKind::Cycles as usize] = 30.0;
+                c
+            },
+            ci_half: 0.5,
+            estimated: true,
+            attributed_pct: 0.0,
+            phases: Vec::new(),
+        };
+        let wf = full_point(1, 1.0);
+        CyclesSnapshot {
+            commit: Some("abc1234".into()),
+            benchmark: "cycle_ledger".into(),
+            workload: "pairwise".into(),
+            perf: PerfMode {
+                mode: "tsc-only".into(),
+                rdpmc: false,
+                reason: "WFQ_PERF_DENY".into(),
+            },
+            series: vec![
+                CyclesSeries {
+                    name: "FAA".into(),
+                    points: vec![faa.clone()],
+                },
+                CyclesSeries {
+                    name: "WF-10".into(),
+                    points: vec![wf.clone()],
+                },
+            ],
+            delta: Some(attribute_gap("FAA", &faa, "WF-10", &wf)),
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let snap = sample_snapshot();
+        let doc = render_cycles_json(&snap);
+        let parsed = parse_cycles_snapshot(&doc).expect("rendered snapshot must parse");
+        assert_eq!(parsed.benchmark, snap.benchmark);
+        assert_eq!(parsed.perf, snap.perf);
+        assert_eq!(parsed.series.len(), snap.series.len());
+        let (a, b) = (&parsed.series[1].points[0], &snap.series[1].points[0]);
+        assert_eq!(a.threads, b.threads);
+        assert_eq!(a.phases.len(), b.phases.len());
+        for (x, y) in a.counters_per_op.iter().zip(b.counters_per_op.iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+        let d = parsed.delta.expect("delta survives the round trip");
+        assert_eq!(d.baseline, "FAA");
+        assert_eq!(d.phases.len(), ALL_PHASES.len());
+    }
+
+    #[test]
+    fn parser_rejects_snapshots_the_gate_cannot_compare() {
+        let snap = sample_snapshot();
+        let good = render_cycles_json(&snap);
+
+        let no_series = good.replacen("\"queue\": \"FAA\"", "\"queue\": \"FAA\"", 1);
+        assert!(parse_cycles_snapshot(&no_series).is_ok(), "control");
+
+        assert!(
+            parse_cycles_snapshot("{\"benchmark\": \"x\", \"workload\": \"y\", \"perf\": {\"mode\": \"tsc-only\", \"rdpmc\": false, \"reason\": \"\"}, \"series\": []}")
+                .unwrap_err()
+                .contains("no series")
+        );
+        assert!(
+            parse_cycles_snapshot("{\"benchmark\": \"x\", \"workload\": \"y\", \"perf\": {\"mode\": \"tsc-only\", \"rdpmc\": false, \"reason\": \"\"}, \"series\": [{\"queue\": \"FAA\", \"points\": []}]}")
+                .unwrap_err()
+                .contains("no points")
+        );
+        // A missing perf block means the snapshot cannot say whether its
+        // numbers were measured or estimated — reject.
+        let no_perf = good.replace("\"perf\"", "\"perf_gone\"");
+        assert!(parse_cycles_snapshot(&no_perf)
+            .unwrap_err()
+            .contains("perf"));
+        // Unknown phase names are schema drift, not data.
+        let bad_phase = good.replace("\"phase\": \"faa\"", "\"phase\": \"warp\"");
+        assert!(parse_cycles_snapshot(&bad_phase)
+            .unwrap_err()
+            .contains("unknown phase"));
+        // Non-finite numbers are mis-generated snapshots.
+        let nan = good.replace("\"ci_half\": 1.000000", "\"ci_half\": 1e999");
+        assert!(parse_cycles_snapshot(&nan).is_err());
+    }
+
+    #[test]
+    fn counter_fields_cover_the_canonical_enumeration() {
+        // Drift guard: every CounterKind must surface as `<name>_per_op`
+        // in the JSON document, and dropping any one of them must fail the
+        // parse.
+        let doc = render_cycles_json(&sample_snapshot());
+        for kind in ALL_COUNTERS {
+            let field = format!("\"{}_per_op\"", kind.name());
+            assert!(doc.contains(&field), "JSON missing {field}");
+            let broken = doc.replace(&field, "\"bogus_per_op\"");
+            assert!(
+                parse_cycles_snapshot(&broken).is_err(),
+                "parser accepted a snapshot without {field}"
+            );
+        }
+    }
+
+    #[test]
+    fn attribution_splits_the_gap_by_phase() {
+        // Baseline: 30 cycles/op. Candidate: 100 cycles/op total, ledger
+        // says faa=35, find_cell=20, cell_cas=15, stats=10, slow_path=8
+        // (sum 88). Gap = 70; contributions: faa excess 5, others full —
+        // 5+20+15+10+8 = 58 → 82.86%.
+        let base = CyclesPoint {
+            threads: 1,
+            counters_per_op: {
+                let mut c = [0.0; NUM_COUNTERS];
+                c[CounterKind::Cycles as usize] = 30.0;
+                c
+            },
+            ci_half: 0.1,
+            estimated: true,
+            attributed_pct: 0.0,
+            phases: Vec::new(),
+        };
+        let mk = |phase: Phase, cyc: f64| PhaseCost {
+            phase: phase.name().to_string(),
+            cycles_per_op: cyc,
+            ci_half: 0.1,
+            entries_per_op: 1.0,
+        };
+        let cand = CyclesPoint {
+            threads: 1,
+            counters_per_op: {
+                let mut c = [0.0; NUM_COUNTERS];
+                c[CounterKind::Cycles as usize] = 100.0;
+                c
+            },
+            ci_half: 0.2,
+            estimated: true,
+            attributed_pct: 88.0,
+            phases: vec![
+                mk(Phase::Faa, 35.0),
+                mk(Phase::FindCell, 20.0),
+                mk(Phase::CellCas, 15.0),
+                mk(Phase::Stats, 10.0),
+                mk(Phase::SlowPath, 8.0),
+            ],
+        };
+        let gap = attribute_gap("FAA", &base, "WF-10", &cand);
+        assert_eq!(gap.cycle_delta_per_op, 70.0);
+        assert!((gap.attributed_pct - 100.0 * 58.0 / 70.0).abs() < 1e-9);
+        let faa_row = gap.phases.iter().find(|p| p.phase == "faa").unwrap();
+        assert_eq!(faa_row.gap_contribution, 5.0, "faa contributes only its excess");
+        let fc = gap.phases.iter().find(|p| p.phase == "find_cell").unwrap();
+        assert_eq!(fc.gap_contribution, 20.0);
+        assert!((fc.share_pct - 100.0 * 20.0 / 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attribution_degrades_on_a_non_positive_gap() {
+        let p = full_point(1, 1.0);
+        let gap = attribute_gap("A", &p, "B", &p.clone());
+        assert_eq!(gap.cycle_delta_per_op, 0.0);
+        assert_eq!(gap.attributed_pct, 0.0, "no NaN/∞ on a zero gap");
+        for ph in &gap.phases {
+            assert_eq!(ph.share_pct, 0.0);
+        }
+    }
+
+    #[test]
+    fn exposition_carries_every_phase_and_counter() {
+        // The drift-guarded parity test (satellite): walk the canonical
+        // enumerations and require each phase label and each counter
+        // metric in the exposition of a fully-populated snapshot.
+        let snap = sample_snapshot();
+        let out = render_cycles_prometheus(&snap);
+        assert!(out.contains("phase=\"total\""));
+        for p in ALL_PHASES {
+            assert!(
+                out.contains(&format!("phase=\"{}\"", p.name())),
+                "exposition missing phase {}:\n{out}",
+                p.name()
+            );
+        }
+        for kind in ALL_COUNTERS {
+            let needle = match kind {
+                CounterKind::Cycles => "wfq_cycles_per_op{".to_string(),
+                CounterKind::Instructions => "wfq_instructions_per_op{".to_string(),
+                CounterKind::L1dMisses => "level=\"l1d\"".to_string(),
+                CounterKind::LlcMisses => "level=\"llc\"".to_string(),
+                CounterKind::BranchMisses => "wfq_branch_miss_per_op{".to_string(),
+            };
+            assert!(
+                out.contains(&needle),
+                "exposition missing counter {} ({needle}):\n{out}",
+                kind.name()
+            );
+        }
+        assert!(out.contains("wfq_cycles_estimated{queue=\"WF-10\",threads=\"1\"} 1"));
+        assert!(out.contains("wfq_cycles_attributed_pct{queue=\"WF-10\""));
+        assert!(
+            !out.contains("wfq_cycles_attributed_pct{queue=\"FAA\""),
+            "unledgered backends must not claim attribution coverage"
+        );
+        // Format sanity: every sample line is `name{labels} value`.
+        for line in out.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split(' ').count(), 2, "bad sample line: {line}");
+        }
+    }
+
+    #[test]
+    fn comparison_gates_on_total_and_phases_with_higher_is_worse() {
+        let base = sample_snapshot();
+        let mut cand = sample_snapshot();
+        // Inflate the candidate's find_cell phase well past CI + threshold.
+        let wfp = &mut cand.series[1].points[0];
+        let fc = wfp
+            .phases
+            .iter_mut()
+            .find(|p| p.phase == "find_cell")
+            .unwrap();
+        fc.cycles_per_op *= 2.0;
+        let cmp = compare_cycles(&base, &cand, 10.0);
+        let fc_delta = cmp
+            .deltas
+            .iter()
+            .find(|d| d.queue == "WF-10" && d.phase == "find_cell")
+            .expect("phase key matched");
+        assert!(fc_delta.regressed, "{fc_delta:?}");
+        // Totals unchanged → no total regression.
+        let total = cmp
+            .deltas
+            .iter()
+            .find(|d| d.queue == "WF-10" && d.phase == "total")
+            .unwrap();
+        assert!(!total.regressed);
+        assert!(cmp.render().contains("REGRESSION"));
+
+        // The mirror image — candidate cheaper — improves, never fails.
+        let cmp = compare_cycles(&cand, &base, 10.0);
+        let fc_delta = cmp
+            .deltas
+            .iter()
+            .find(|d| d.queue == "WF-10" && d.phase == "find_cell")
+            .unwrap();
+        assert!(fc_delta.improved && !fc_delta.regressed);
+        assert!(cmp.regressions().is_empty());
+    }
+
+    #[test]
+    fn comparison_reports_unmatched_keys() {
+        let base = sample_snapshot();
+        let mut cand = sample_snapshot();
+        let dropped = cand.series[1].points[0].phases.pop().unwrap().phase;
+        cand.series.push(CyclesSeries {
+            name: "SCQ".into(),
+            points: vec![full_point(1, 2.0)],
+        });
+        let cmp = compare_cycles(&base, &cand, 10.0);
+        assert!(cmp
+            .unmatched
+            .iter()
+            .any(|u| u.contains(&dropped) && u.contains("baseline only")));
+        assert!(cmp.unmatched.iter().any(|u| u.contains("SCQ")));
+    }
+
+    #[test]
+    fn trajectory_line_is_one_parsable_json_line() {
+        let snap = sample_snapshot();
+        let line = cycles_trajectory_line(&snap);
+        assert!(!line.contains('\n'));
+        let v = json::parse(&line).expect("trajectory line must parse");
+        assert_eq!(
+            v.get("benchmark").and_then(|x| x.as_str().map(String::from)),
+            Some("cycle_ledger".to_string())
+        );
+        assert!(v.get("delta").is_some());
+        assert_eq!(
+            v.get("perf").and_then(|x| x.as_str().map(String::from)),
+            Some("tsc-only".to_string())
+        );
+    }
+}

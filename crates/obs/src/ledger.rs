@@ -1,0 +1,612 @@
+//! The **cycle ledger**: per-phase cost attribution for the hot paths.
+//!
+//! The paper's headline claim — "as fast as fetch-and-add" — is a claim
+//! about *where cycles go*: the WF fast path is supposed to cost one FAA
+//! plus a deposit CAS and almost nothing else. The flight recorder can say
+//! which protocol branch an operation took; this module says what each
+//! **phase** of the operation *cost*, in raw timestamp ticks (≈ cycles on
+//! an invariant-TSC x86), so the WF − F&A gap can be decomposed into
+//! measured phases instead of guesses.
+//!
+//! Protocol code brackets its phases with [`phase!`]:
+//!
+//! ```ignore
+//! let i = phase!(Phase::Faa, self.tail_index.fetch_add(1, SeqCst));
+//! ```
+//!
+//! With the `cycles` feature **off** (the default) the macro expands to
+//! exactly its body expression — no timestamp, no thread-local, provably
+//! (the expansion stays a valid constant expression, the same const-proof
+//! trick as `record!` and `inject!`). With the feature on, each expansion
+//! takes two raw clock readings and accumulates the **self-time** of the
+//! phase (nested phases are subtracted from their parent) into a
+//! per-thread ledger that registers into a process-global list on first
+//! use, exactly like the flight recorder.
+//!
+//! The nesting/attribution arithmetic lives in [`NestState`], a pure
+//! structure driven by explicit timestamps so synthetic counter streams
+//! can unit-test it; the multiplexing-scaling arithmetic shared with the
+//! perf layer lives in [`crate::perf::scale_count`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+#[cfg(feature = "cycles")]
+use crate::clock;
+
+/// One attributable phase of a queue operation.
+///
+/// The first five are the decomposition the gap analysis needs (ISSUE 10):
+/// the FAA index claim, the `find_cell` segment walk, the cell CAS
+/// (deposit/consume, including `help_enq` on the dequeue side), the stats
+/// update, and slow-path episodes. `Hazard` (publication + epilogue
+/// mirror/clear), `Helping` (the dequeuer's peer help + cleanup epilogue)
+/// and `SegAlloc` (list extension inside `find_cell` — a *nested* phase)
+/// close the accounting so the per-phase sum tracks the op total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Phase {
+    /// The fetch-and-add claiming an index on `T` or `H` (plus the
+    /// emptiness-probe index reads on the dequeue side).
+    Faa = 0,
+    /// The `find_cell` segment-list walk from the handle's cached segment
+    /// to the claimed cell.
+    FindCell = 1,
+    /// The cell-level commit: deposit CAS, consume claim, and the
+    /// dequeuer's `help_enq` value resolution.
+    CellCas = 2,
+    /// Execution-path statistics updates on the operation epilogue.
+    Stats = 3,
+    /// A slow-path episode (`enq_slow` / `deq_slow`), entered after
+    /// patience ran out.
+    SlowPath = 4,
+    /// Hazard publication and the epilogue mirror update + clear.
+    Hazard = 5,
+    /// Peer helping and reclamation probes on the dequeue epilogue.
+    Helping = 6,
+    /// Segment allocation/publication inside `find_cell` (nested under
+    /// [`Phase::FindCell`]; its self-time is carved out of the walk).
+    SegAlloc = 7,
+    /// The whole-operation envelope bracketing each public
+    /// enqueue/dequeue. Every named phase nests inside it, so its
+    /// **self**-time is exactly the glue the named phases do not cover
+    /// (argument checks, handle bookkeeping, loop control) — the explicit
+    /// remainder that lets the per-phase sum reconcile with the op total
+    /// by construction instead of by hope.
+    Glue = 8,
+}
+
+/// Number of distinct phases.
+pub const NUM_PHASES: usize = 9;
+
+/// Every phase, in discriminant order — the canonical enumeration the
+/// exposition and snapshot schema derive their lists from (the same
+/// drift-guard idea as `QueueStats::for_each_counter`).
+pub const ALL_PHASES: [Phase; NUM_PHASES] = [
+    Phase::Faa,
+    Phase::FindCell,
+    Phase::CellCas,
+    Phase::Stats,
+    Phase::SlowPath,
+    Phase::Hazard,
+    Phase::Helping,
+    Phase::SegAlloc,
+    Phase::Glue,
+];
+
+impl Phase {
+    /// Stable snake_case name used in JSON snapshots, Prometheus labels
+    /// and markdown reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Faa => "faa",
+            Phase::FindCell => "find_cell",
+            Phase::CellCas => "cell_cas",
+            Phase::Stats => "stats",
+            Phase::SlowPath => "slow_path",
+            Phase::Hazard => "hazard",
+            Phase::Helping => "helping",
+            Phase::SegAlloc => "seg_alloc",
+            Phase::Glue => "glue",
+        }
+    }
+
+    /// Inverse of [`Phase::name`].
+    pub fn from_name(s: &str) -> Option<Phase> {
+        ALL_PHASES.iter().copied().find(|p| p.name() == s)
+    }
+}
+
+/// Whether this build has the phase-ledger runtime compiled in.
+pub const CYCLES_ENABLED: bool = cfg!(feature = "cycles");
+
+// ----------------------------------------------------------------------
+// Pure nesting arithmetic (unit-testable on synthetic timestamp streams)
+// ----------------------------------------------------------------------
+
+/// Maximum phase-nesting depth tracked. The protocol nests at most three
+/// deep today (op → slow_path → find_cell → seg_alloc); deeper frames are
+/// counted flat (their time stays with the innermost tracked parent) so
+/// the accounting degrades to under-attribution, never double-counting.
+pub const MAX_NEST_DEPTH: usize = 8;
+
+/// One open phase frame.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    phase: Phase,
+    start: u64,
+    /// Raw ticks consumed by already-closed nested phases.
+    child: u64,
+}
+
+/// The phase-nesting state machine, driven by explicit timestamps.
+///
+/// `enter`/`exit` pairs accumulate each phase's **self-time** — the ticks
+/// between its own enter and exit minus the ticks spent in nested phases —
+/// so summing self-times over phases never double-counts nesting, and the
+/// invariant "Σ per-phase self-time ≤ enclosing span" holds by
+/// construction (exactly, on a monotone clock).
+#[derive(Debug)]
+pub struct NestState {
+    stack: [Option<Frame>; MAX_NEST_DEPTH],
+    depth: usize,
+    /// Frames dropped because the stack was full (accounting degraded).
+    pub overflowed: u64,
+}
+
+impl NestState {
+    /// Fresh, empty nesting state.
+    pub const fn new() -> Self {
+        Self {
+            stack: [None; MAX_NEST_DEPTH],
+            depth: 0,
+            overflowed: 0,
+        }
+    }
+
+    /// Opens a phase at timestamp `now`.
+    #[inline]
+    pub fn enter(&mut self, phase: Phase, now: u64) {
+        if self.depth >= MAX_NEST_DEPTH {
+            self.overflowed += 1;
+            return;
+        }
+        self.stack[self.depth] = Some(Frame {
+            phase,
+            start: now,
+            child: 0,
+        });
+        self.depth += 1;
+    }
+
+    /// Closes the innermost phase at timestamp `now`, returning
+    /// `(phase, self_ticks)` — or `None` for an overflowed/unmatched exit.
+    ///
+    /// A mismatched `phase` (exit without enter, e.g. after overflow)
+    /// leaves the stack untouched and returns `None`: under-attribution,
+    /// never corruption.
+    #[inline]
+    pub fn exit(&mut self, phase: Phase, now: u64) -> Option<(Phase, u64)> {
+        if self.depth == 0 {
+            return None;
+        }
+        let frame = self.stack[self.depth - 1]?;
+        if frame.phase != phase {
+            // An overflowed enter was dropped; its exit must not pop the
+            // wrong frame.
+            self.overflowed += 1;
+            return None;
+        }
+        self.depth -= 1;
+        self.stack[self.depth] = None;
+        let total = now.saturating_sub(frame.start);
+        let own = total.saturating_sub(frame.child);
+        // The whole nested span (including the child's instrumentation)
+        // is the parent's child-time.
+        if self.depth > 0 {
+            if let Some(parent) = self.stack[self.depth - 1].as_mut() {
+                parent.child = parent.child.saturating_add(total);
+            }
+        }
+        Some((frame.phase, own))
+    }
+
+    /// Current nesting depth (open frames).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+impl Default for NestState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Per-thread ledgers and the global registry
+// ----------------------------------------------------------------------
+
+/// The shared half of one thread's ledger: per-phase raw-tick and entry
+/// totals, owner-written with relaxed stores, snapshot-read by drainers.
+pub struct LedgerShared {
+    /// Raw self-ticks accumulated per phase (indexed by discriminant).
+    ticks: [AtomicU64; NUM_PHASES],
+    /// Enter/exit pairs completed per phase.
+    entries: [AtomicU64; NUM_PHASES],
+    /// Frames lost to nesting overflow or unmatched exits.
+    overflows: AtomicU64,
+}
+
+impl LedgerShared {
+    fn new() -> Self {
+        Self {
+            ticks: core::array::from_fn(|_| AtomicU64::new(0)),
+            entries: core::array::from_fn(|_| AtomicU64::new(0)),
+            overflows: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one closed phase frame (owner thread only).
+    #[inline]
+    pub fn add(&self, phase: Phase, self_ticks: u64) {
+        let i = phase as usize;
+        // Owner-exclusive writer: load+store beats a locked RMW on the
+        // hot path and is linearizable for a single writer.
+        let t = self.ticks[i].load(Ordering::Relaxed);
+        self.ticks[i].store(t.wrapping_add(self_ticks), Ordering::Relaxed);
+        let n = self.entries[i].load(Ordering::Relaxed);
+        self.entries[i].store(n + 1, Ordering::Relaxed);
+    }
+
+    #[cfg_attr(not(feature = "cycles"), allow(dead_code))]
+    fn note_overflow(&self) {
+        let n = self.overflows.load(Ordering::Relaxed);
+        self.overflows.store(n + 1, Ordering::Relaxed);
+    }
+}
+
+/// Cumulative per-phase totals aggregated over every registered ledger.
+///
+/// Totals are monotone; measurement code snapshots them before and after a
+/// run and works with the difference (see [`LedgerTotals::delta_since`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LedgerTotals {
+    /// Raw self-ticks per phase, indexed by `Phase as usize`.
+    pub ticks: [u64; NUM_PHASES],
+    /// Completed enter/exit pairs per phase.
+    pub entries: [u64; NUM_PHASES],
+    /// Frames lost to nesting overflow (accounting degraded if nonzero).
+    pub overflows: u64,
+}
+
+impl LedgerTotals {
+    /// Ticks recorded for one phase.
+    pub fn ticks_of(&self, p: Phase) -> u64 {
+        self.ticks[p as usize]
+    }
+
+    /// Entries recorded for one phase.
+    pub fn entries_of(&self, p: Phase) -> u64 {
+        self.entries[p as usize]
+    }
+
+    /// Sum of self-ticks over all phases.
+    pub fn total_ticks(&self) -> u64 {
+        self.ticks.iter().sum()
+    }
+
+    /// Sum of entries over all phases.
+    pub fn total_entries(&self) -> u64 {
+        self.entries.iter().sum()
+    }
+
+    /// Component-wise difference `self − earlier` (saturating — a fresh
+    /// thread registering mid-window can only grow the totals).
+    pub fn delta_since(&self, earlier: &LedgerTotals) -> LedgerTotals {
+        let mut d = LedgerTotals::default();
+        for i in 0..NUM_PHASES {
+            d.ticks[i] = self.ticks[i].saturating_sub(earlier.ticks[i]);
+            d.entries[i] = self.entries[i].saturating_sub(earlier.entries[i]);
+        }
+        d.overflows = self.overflows.saturating_sub(earlier.overflows);
+        d
+    }
+}
+
+fn ledger_registry() -> &'static Mutex<Vec<Arc<LedgerShared>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<LedgerShared>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Creates and registers a ledger for the calling thread. Public for tests
+/// and tools; protocol code reaches it through [`phase!`](crate::phase).
+pub fn register_ledger() -> Arc<LedgerShared> {
+    let mut reg = ledger_registry().lock().unwrap();
+    let led = Arc::new(LedgerShared::new());
+    reg.push(Arc::clone(&led));
+    led
+}
+
+/// Number of ledgers ever registered (0 in builds without `cycles` unless
+/// a test registered one manually).
+pub fn ledger_count() -> usize {
+    ledger_registry().lock().unwrap().len()
+}
+
+/// Snapshots the cumulative per-phase totals across every registered
+/// ledger. Without the `cycles` feature nothing registers from protocol
+/// code, so this returns zeros.
+pub fn ledger_totals() -> LedgerTotals {
+    let mut t = LedgerTotals::default();
+    for led in ledger_registry().lock().unwrap().iter() {
+        for i in 0..NUM_PHASES {
+            t.ticks[i] = t.ticks[i].wrapping_add(led.ticks[i].load(Ordering::Relaxed));
+            t.entries[i] = t.entries[i].wrapping_add(led.entries[i].load(Ordering::Relaxed));
+        }
+        t.overflows = t.overflows.wrapping_add(led.overflows.load(Ordering::Relaxed));
+    }
+    t
+}
+
+#[cfg(feature = "cycles")]
+thread_local! {
+    static LEDGER: std::cell::RefCell<Option<(Arc<LedgerShared>, NestState)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Runtime behind [`phase!`](crate::phase) in `cycles` builds: opens a
+/// phase frame on the calling thread's ledger. Not part of the stable API.
+#[cfg(feature = "cycles")]
+#[doc(hidden)]
+#[inline]
+pub fn rt_phase_enter(phase: Phase) {
+    let now = clock::raw_now();
+    LEDGER.with(|l| {
+        let mut slot = l.borrow_mut();
+        let (_, nest) = slot.get_or_insert_with(|| (register_ledger(), NestState::new()));
+        nest.enter(phase, now);
+    });
+}
+
+/// Runtime behind [`phase!`](crate::phase) in `cycles` builds: closes the
+/// innermost frame and accumulates its self-time. Not part of the stable
+/// API.
+#[cfg(feature = "cycles")]
+#[doc(hidden)]
+#[inline]
+pub fn rt_phase_exit(phase: Phase) {
+    let now = clock::raw_now();
+    LEDGER.with(|l| {
+        let mut slot = l.borrow_mut();
+        if let Some((led, nest)) = slot.as_mut() {
+            match nest.exit(phase, now) {
+                Some((p, own)) => led.add(p, own),
+                None => led.note_overflow(),
+            }
+        }
+    });
+}
+
+/// Mean raw-tick cost of one `phase!` enter/exit pair in this build,
+/// measured over an empty body, split into `(full, inner)`:
+///
+/// - `full` — the whole per-span price as seen by an *outer* clock: what
+///   each span adds to a surrounding measurement window (e.g. the
+///   `cycle_ledger` op total);
+/// - `inner` — the part the span records as its own self-time (the ticks
+///   between `enter`'s and `exit`'s clock reads on an empty body): what
+///   each entry inflates its phase's ledger by.
+///
+/// Measurement code subtracts `inner × entries` from a phase's self-ticks
+/// and `full × entries` from a hook-inclusive total to estimate
+/// uninstrumented costs. Returns `(0, 0)` without the `cycles` feature,
+/// where the macro is free by construction.
+pub fn probe_overhead_split() -> (u64, u64) {
+    #[cfg(feature = "cycles")]
+    {
+        const ROUNDS: u64 = 4096;
+        // Warm the thread-local + registration outside the timed window.
+        crate::phase!(Phase::Faa, ());
+        let before = ledger_totals();
+        let t0 = clock::raw_now();
+        for _ in 0..ROUNDS {
+            crate::phase!(Phase::Faa, std::hint::black_box(()));
+        }
+        let dt = clock::raw_now().saturating_sub(t0);
+        let after = ledger_totals();
+        let inner = after
+            .delta_since(&before)
+            .ticks_of(Phase::Faa)
+            .checked_div(ROUNDS)
+            .unwrap_or(0);
+        // A span cannot cost less from outside than the self-time it
+        // recorded inside.
+        ((dt / ROUNDS).max(inner), inner)
+    }
+    #[cfg(not(feature = "cycles"))]
+    {
+        (0, 0)
+    }
+}
+
+/// Mean raw-tick cost of one `phase!` enter/exit pair in this build — the
+/// `full` half of [`probe_overhead_split`]. Returns 0 without the `cycles`
+/// feature.
+pub fn probe_overhead_ticks() -> u64 {
+    probe_overhead_split().0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_round_trip() {
+        for p in ALL_PHASES {
+            assert_eq!(Phase::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Phase::from_name("no_such_phase"), None);
+        // Names are unique.
+        let mut names: Vec<&str> = ALL_PHASES.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_PHASES);
+    }
+
+    #[test]
+    fn flat_phases_accumulate_their_own_time() {
+        let mut n = NestState::new();
+        n.enter(Phase::Faa, 100);
+        assert_eq!(n.exit(Phase::Faa, 130), Some((Phase::Faa, 30)));
+        n.enter(Phase::CellCas, 200);
+        assert_eq!(n.exit(Phase::CellCas, 260), Some((Phase::CellCas, 60)));
+        assert_eq!(n.depth(), 0);
+        assert_eq!(n.overflowed, 0);
+    }
+
+    #[test]
+    fn nested_phase_time_is_subtracted_from_the_parent() {
+        // find_cell [10, 100] containing seg_alloc [40, 70]:
+        // seg_alloc self = 30, find_cell self = 90 − 30 = 60.
+        let mut n = NestState::new();
+        n.enter(Phase::FindCell, 10);
+        n.enter(Phase::SegAlloc, 40);
+        assert_eq!(n.exit(Phase::SegAlloc, 70), Some((Phase::SegAlloc, 30)));
+        assert_eq!(n.exit(Phase::FindCell, 100), Some((Phase::FindCell, 60)));
+    }
+
+    #[test]
+    fn self_times_sum_to_the_enclosing_span_exactly() {
+        // Three levels deep; the sum of all self-times must equal the
+        // outermost span on a gap-free synthetic stream.
+        let mut n = NestState::new();
+        let mut sum = 0;
+        n.enter(Phase::SlowPath, 0);
+        n.enter(Phase::FindCell, 10);
+        n.enter(Phase::SegAlloc, 20);
+        sum += n.exit(Phase::SegAlloc, 50).unwrap().1;
+        sum += n.exit(Phase::FindCell, 80).unwrap().1;
+        n.enter(Phase::CellCas, 90);
+        sum += n.exit(Phase::CellCas, 120).unwrap().1;
+        sum += n.exit(Phase::SlowPath, 200).unwrap().1;
+        assert_eq!(sum, 200, "Σ self-times must equal the outer span");
+    }
+
+    #[test]
+    fn sibling_children_both_reduce_the_parent() {
+        let mut n = NestState::new();
+        n.enter(Phase::SlowPath, 0);
+        n.enter(Phase::Faa, 10);
+        n.exit(Phase::Faa, 20).unwrap();
+        n.enter(Phase::Faa, 30);
+        n.exit(Phase::Faa, 45).unwrap();
+        let (_, own) = n.exit(Phase::SlowPath, 100).unwrap();
+        assert_eq!(own, 100 - 10 - 15);
+    }
+
+    #[test]
+    fn overflow_degrades_to_under_attribution() {
+        let mut n = NestState::new();
+        for i in 0..MAX_NEST_DEPTH {
+            n.enter(Phase::SlowPath, i as u64);
+        }
+        // One past the stack: dropped, counted.
+        n.enter(Phase::Faa, 99);
+        assert_eq!(n.overflowed, 1);
+        // Its exit must not pop SlowPath.
+        assert_eq!(n.exit(Phase::Faa, 100), None);
+        assert_eq!(n.overflowed, 2);
+        // The real frames still unwind cleanly.
+        for _ in 0..MAX_NEST_DEPTH {
+            assert!(n.exit(Phase::SlowPath, 200).is_some());
+        }
+        assert_eq!(n.depth(), 0);
+    }
+
+    #[test]
+    fn unmatched_exit_on_empty_stack_is_ignored() {
+        let mut n = NestState::new();
+        assert_eq!(n.exit(Phase::Faa, 10), None);
+        assert_eq!(n.depth(), 0);
+    }
+
+    #[test]
+    fn backwards_clock_saturates_to_zero() {
+        let mut n = NestState::new();
+        n.enter(Phase::Faa, 100);
+        assert_eq!(n.exit(Phase::Faa, 40), Some((Phase::Faa, 0)));
+    }
+
+    #[test]
+    fn manual_ledger_registration_feeds_the_totals() {
+        let before = ledger_totals();
+        let led = register_ledger();
+        led.add(Phase::FindCell, 25);
+        led.add(Phase::FindCell, 5);
+        led.add(Phase::Stats, 7);
+        let after = ledger_totals();
+        let d = after.delta_since(&before);
+        assert_eq!(d.ticks_of(Phase::FindCell), 30);
+        assert_eq!(d.entries_of(Phase::FindCell), 2);
+        assert_eq!(d.ticks_of(Phase::Stats), 7);
+        assert_eq!(d.total_ticks(), 37);
+        assert_eq!(d.total_entries(), 3);
+    }
+
+    #[test]
+    fn delta_since_saturates_instead_of_wrapping() {
+        let a = LedgerTotals {
+            ticks: [10; NUM_PHASES],
+            entries: [1; NUM_PHASES],
+            overflows: 0,
+        };
+        let b = LedgerTotals {
+            ticks: [4; NUM_PHASES],
+            entries: [2; NUM_PHASES],
+            overflows: 3,
+        };
+        let d = a.delta_since(&b);
+        assert_eq!(d.ticks, [6; NUM_PHASES]);
+        assert_eq!(d.entries, [0; NUM_PHASES]);
+    }
+
+    #[cfg(feature = "cycles")]
+    #[test]
+    fn macro_records_into_the_thread_ledger() {
+        std::thread::spawn(|| {
+            let before = ledger_totals();
+            let v = crate::phase!(Phase::CellCas, {
+                std::hint::black_box(3u64) + 4
+            });
+            assert_eq!(v, 7, "phase! must be an expression yielding its body");
+            let nested = crate::phase!(Phase::FindCell, {
+                crate::phase!(Phase::SegAlloc, std::hint::black_box(1u64))
+            });
+            assert_eq!(nested, 1);
+            let d = ledger_totals().delta_since(&before);
+            assert_eq!(d.entries_of(Phase::CellCas), 1);
+            assert_eq!(d.entries_of(Phase::FindCell), 1);
+            assert_eq!(d.entries_of(Phase::SegAlloc), 1);
+            assert_eq!(d.overflows, 0);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[cfg(feature = "cycles")]
+    #[test]
+    fn probe_overhead_is_measurable_and_sane() {
+        let cost = probe_overhead_ticks();
+        // Two clock reads plus TLS bookkeeping: nonzero, but far below a
+        // microsecond's worth of ticks.
+        assert!(cost > 0, "enabled probes cannot be free");
+        assert!(cost < 1_000_000, "absurd probe cost {cost}");
+    }
+
+    #[cfg(not(feature = "cycles"))]
+    #[test]
+    fn probe_overhead_is_zero_when_disabled() {
+        assert_eq!(probe_overhead_ticks(), 0);
+    }
+}

@@ -1,0 +1,858 @@
+//! Hardware performance counters via `perf_event_open(2)` — own ffi,
+//! no external crates (the same discipline as the crossbeam-free sync
+//! layer: raw syscalls on x86_64 Linux, honest stubs everywhere else).
+//!
+//! The cycle ledger wants five counters per measured thread — cycles,
+//! instructions, L1d read misses, LLC read misses, branch misses — opened
+//! as one **group** so the kernel schedules them together and their ratios
+//! are meaningful. Reads prefer the user-space `rdpmc` path through the
+//! mmap'd [`perf_event_mmap_page`] when the kernel grants it
+//! (`cap_user_rdpmc`), falling back to the `read(2)` syscall with
+//! `PERF_FORMAT_GROUP`.
+//!
+//! Two kinds of degradation, both mandatory for CI containers:
+//!
+//! - **Multiplexing**: more groups than hardware counters means the kernel
+//!   time-slices them. Every read carries `time_enabled`/`time_running`;
+//!   [`scale_count`] extrapolates and flags the value as *estimated*.
+//! - **Denial**: `perf_event_open` returns `EPERM`/`EACCES` (locked-down
+//!   `perf_event_paranoid`, seccomp) or `ENOSYS`. [`CounterGroup::open`]
+//!   then yields a TSC-only group: cycle counts come from the raw clock
+//!   (estimated), the other counters read as unavailable, and nothing
+//!   panics. Setting `WFQ_PERF_DENY=1` forces this path for tests.
+//!
+//! [`perf_event_mmap_page`]: https://man7.org/linux/man-pages/man2/perf_event_open.2.html
+
+use crate::clock;
+
+/// Environment variable forcing the denied-`perf_event_open` fallback
+/// path, for tests and CI smoke runs on hosts that would otherwise grant
+/// real counters.
+pub const PERF_DENY_ENV: &str = "WFQ_PERF_DENY";
+
+// ----------------------------------------------------------------------
+// Raw syscall layer (x86_64 Linux only; everything else is denied)
+// ----------------------------------------------------------------------
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+mod sys {
+    use core::arch::asm;
+
+    pub const SYS_READ: i64 = 0;
+    pub const SYS_CLOSE: i64 = 3;
+    pub const SYS_MMAP: i64 = 9;
+    pub const SYS_MUNMAP: i64 = 11;
+    pub const SYS_IOCTL: i64 = 16;
+    pub const SYS_PERF_EVENT_OPEN: i64 = 298;
+
+    /// Raw syscall; returns the kernel's value (negative errno on error).
+    ///
+    /// SAFETY: callers must uphold the specific syscall's contract
+    /// (valid pointers/lengths for the arguments that take them).
+    #[inline]
+    pub unsafe fn syscall5(nr: i64, a1: i64, a2: i64, a3: i64, a4: i64, a5: i64) -> i64 {
+        let ret: i64;
+        asm!(
+            "syscall",
+            inlateout("rax") nr => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            out("rcx") _,
+            out("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    /// `rdpmc` — reads hardware PMC `counter`. Only meaningful while the
+    /// mmap page advertises `cap_user_rdpmc` and an index for the event.
+    ///
+    /// SAFETY: executing rdpmc with CR4.PCE clear faults; callers must
+    /// have checked `cap_user_rdpmc` first.
+    #[inline]
+    pub unsafe fn rdpmc(counter: u32) -> u64 {
+        let lo: u32;
+        let hi: u32;
+        asm!(
+            "rdpmc",
+            in("ecx") counter,
+            out("eax") lo,
+            out("edx") hi,
+            options(nostack, nomem, preserves_flags),
+        );
+        ((hi as u64) << 32) | lo as u64
+    }
+}
+
+/// `perf_event_attr`, the 136-byte layout this code was written against
+/// (`PERF_ATTR_SIZE_VER5`; older kernels accept it, newer kernels
+/// zero-extend).
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PerfEventAttr {
+    type_: u32,
+    size: u32,
+    config: u64,
+    sample_period_or_freq: u64,
+    sample_type: u64,
+    read_format: u64,
+    flags: u64,
+    wakeup_events_or_watermark: u32,
+    bp_type: u32,
+    bp_addr_or_config1: u64,
+    bp_len_or_config2: u64,
+    branch_sample_type: u64,
+    sample_regs_user: u64,
+    sample_stack_user: u32,
+    clockid: i32,
+    sample_regs_intr: u64,
+    aux_watermark: u32,
+    sample_max_stack: u16,
+    reserved2: u16,
+}
+
+const PERF_ATTR_SIZE_VER5: u32 = 112;
+
+const PERF_TYPE_HARDWARE: u32 = 0;
+const PERF_TYPE_HW_CACHE: u32 = 3;
+
+const PERF_COUNT_HW_CPU_CYCLES: u64 = 0;
+const PERF_COUNT_HW_INSTRUCTIONS: u64 = 1;
+const PERF_COUNT_HW_BRANCH_MISSES: u64 = 5;
+
+const PERF_COUNT_HW_CACHE_L1D: u64 = 0;
+const PERF_COUNT_HW_CACHE_LL: u64 = 2;
+const PERF_COUNT_HW_CACHE_OP_READ: u64 = 0;
+const PERF_COUNT_HW_CACHE_RESULT_MISS: u64 = 1;
+
+const fn cache_config(cache: u64, op: u64, result: u64) -> u64 {
+    cache | (op << 8) | (result << 16)
+}
+
+const PERF_FORMAT_TOTAL_TIME_ENABLED: u64 = 1 << 0;
+const PERF_FORMAT_TOTAL_TIME_RUNNING: u64 = 1 << 1;
+const PERF_FORMAT_ID: u64 = 1 << 2;
+const PERF_FORMAT_GROUP: u64 = 1 << 3;
+
+// attr.flags bits (bit offsets in the packed bitfield word).
+const ATTR_FLAG_DISABLED: u64 = 1 << 0;
+const ATTR_FLAG_EXCLUDE_KERNEL: u64 = 1 << 5;
+const ATTR_FLAG_EXCLUDE_HV: u64 = 1 << 6;
+
+const PERF_EVENT_IOC_ENABLE: u64 = 0x2400;
+const PERF_EVENT_IOC_RESET: u64 = 0x2403;
+
+const EPERM: i64 = 1;
+const ENOENT: i64 = 2;
+const EACCES: i64 = 13;
+const ENOSYS: i64 = 38;
+
+// ----------------------------------------------------------------------
+// Counter kinds
+// ----------------------------------------------------------------------
+
+/// The hardware events the ledger samples, in group order (cycles is the
+/// group leader).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum CounterKind {
+    /// Core clock cycles (`PERF_COUNT_HW_CPU_CYCLES`).
+    Cycles = 0,
+    /// Retired instructions.
+    Instructions = 1,
+    /// L1 data-cache read misses.
+    L1dMisses = 2,
+    /// Last-level-cache read misses (the coherence-traffic proxy).
+    LlcMisses = 3,
+    /// Mispredicted branches.
+    BranchMisses = 4,
+}
+
+/// Number of counters in a full group.
+pub const NUM_COUNTERS: usize = 5;
+
+/// Every counter kind, in group order — the canonical enumeration for
+/// snapshots and exposition.
+pub const ALL_COUNTERS: [CounterKind; NUM_COUNTERS] = [
+    CounterKind::Cycles,
+    CounterKind::Instructions,
+    CounterKind::L1dMisses,
+    CounterKind::LlcMisses,
+    CounterKind::BranchMisses,
+];
+
+impl CounterKind {
+    /// Stable snake_case name for snapshots, metrics, and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CounterKind::Cycles => "cycles",
+            CounterKind::Instructions => "instructions",
+            CounterKind::L1dMisses => "l1d_miss",
+            CounterKind::LlcMisses => "llc_miss",
+            CounterKind::BranchMisses => "branch_miss",
+        }
+    }
+
+    /// Inverse of [`CounterKind::name`].
+    pub fn from_name(s: &str) -> Option<CounterKind> {
+        ALL_COUNTERS.iter().copied().find(|c| c.name() == s)
+    }
+
+    fn attr_type_config(self) -> (u32, u64) {
+        match self {
+            CounterKind::Cycles => (PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES),
+            CounterKind::Instructions => (PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS),
+            CounterKind::L1dMisses => (
+                PERF_TYPE_HW_CACHE,
+                cache_config(
+                    PERF_COUNT_HW_CACHE_L1D,
+                    PERF_COUNT_HW_CACHE_OP_READ,
+                    PERF_COUNT_HW_CACHE_RESULT_MISS,
+                ),
+            ),
+            CounterKind::LlcMisses => (
+                PERF_TYPE_HW_CACHE,
+                cache_config(
+                    PERF_COUNT_HW_CACHE_LL,
+                    PERF_COUNT_HW_CACHE_OP_READ,
+                    PERF_COUNT_HW_CACHE_RESULT_MISS,
+                ),
+            ),
+            CounterKind::BranchMisses => (PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Pure arithmetic (unit-testable without a kernel)
+// ----------------------------------------------------------------------
+
+/// Multiplexing-aware extrapolation: scales a raw counter value by
+/// `time_enabled / time_running` and reports whether the result is an
+/// estimate (`running < enabled`) rather than a direct measurement.
+///
+/// `running == 0` with `enabled > 0` means the event never got on the
+/// hardware; the honest answer is `(0, estimated=true)`.
+pub fn scale_count(value: u64, time_enabled: u64, time_running: u64) -> (u64, bool) {
+    if time_running == time_enabled {
+        return (value, false);
+    }
+    if time_running == 0 {
+        return (0, true);
+    }
+    let scaled = (value as u128 * time_enabled as u128) / time_running as u128;
+    (scaled.min(u64::MAX as u128) as u64, true)
+}
+
+// ----------------------------------------------------------------------
+// Group status and snapshots
+// ----------------------------------------------------------------------
+
+/// How a [`CounterGroup`] is sourcing its numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PerfStatus {
+    /// `perf_event_open` succeeded; counters are live hardware events.
+    /// `rdpmc` reports whether reads go through user-space `rdpmc`
+    /// (true) or the `read(2)` syscall (false).
+    Hardware {
+        /// True when every live counter supports user-space `rdpmc`.
+        rdpmc: bool,
+    },
+    /// `perf_event_open` was denied or unavailable; only TSC-derived
+    /// cycle estimates exist. `reason` says why (for reports).
+    TscOnly {
+        /// Human-readable denial cause (`"EPERM"`, `"ENOSYS"`,
+        /// `"WFQ_PERF_DENY"`, `"unsupported platform"`, …).
+        reason: String,
+    },
+}
+
+impl PerfStatus {
+    /// Short mode string for JSON snapshots: `"hardware"` or `"tsc-only"`.
+    pub fn mode(&self) -> &'static str {
+        match self {
+            PerfStatus::Hardware { .. } => "hardware",
+            PerfStatus::TscOnly { .. } => "tsc-only",
+        }
+    }
+}
+
+/// One point-in-time reading of a [`CounterGroup`].
+///
+/// Counter slots are indexed by `CounterKind as usize`. `measured[i]`
+/// distinguishes a true hardware reading (`true`) from an estimate or an
+/// unavailable counter; `counts` of unavailable counters are 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GroupSnapshot {
+    /// Raw TSC reading taken with the counters (always present).
+    pub tsc: u64,
+    /// Multiplex-scaled counter values.
+    pub counts: [u64; NUM_COUNTERS],
+    /// Whether each count is a direct measurement (true) as opposed to a
+    /// multiplex-scaled estimate, TSC-derived estimate, or absent.
+    pub measured: [bool; NUM_COUNTERS],
+    /// Whether each counter has any value at all (false ⇒ count is 0 and
+    /// the counter should be reported as unavailable, not as zero events).
+    pub available: [bool; NUM_COUNTERS],
+    /// Nanoseconds the group was scheduled-enabled (0 in TSC-only mode).
+    pub time_enabled: u64,
+    /// Nanoseconds the group actually ran on hardware.
+    pub time_running: u64,
+}
+
+impl GroupSnapshot {
+    /// Value of one counter.
+    pub fn count(&self, kind: CounterKind) -> u64 {
+        self.counts[kind as usize]
+    }
+
+    /// Whether one counter carries a direct hardware measurement.
+    pub fn is_measured(&self, kind: CounterKind) -> bool {
+        self.measured[kind as usize]
+    }
+
+    /// Whether one counter has a value (measured or estimated).
+    pub fn is_available(&self, kind: CounterKind) -> bool {
+        self.available[kind as usize]
+    }
+
+    /// Component-wise `self − earlier`. Availability/measuredness is the
+    /// AND of both endpoints; the TSC delta rides along.
+    pub fn delta_since(&self, earlier: &GroupSnapshot) -> GroupSnapshot {
+        let mut d = GroupSnapshot {
+            tsc: self.tsc.saturating_sub(earlier.tsc),
+            time_enabled: self.time_enabled.saturating_sub(earlier.time_enabled),
+            time_running: self.time_running.saturating_sub(earlier.time_running),
+            ..Default::default()
+        };
+        for i in 0..NUM_COUNTERS {
+            d.counts[i] = self.counts[i].saturating_sub(earlier.counts[i]);
+            d.measured[i] = self.measured[i] && earlier.measured[i];
+            d.available[i] = self.available[i] && earlier.available[i];
+        }
+        d
+    }
+}
+
+// ----------------------------------------------------------------------
+// The counter group
+// ----------------------------------------------------------------------
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+struct LiveCounter {
+    fd: i32,
+    id: u64,
+    kind: CounterKind,
+    /// mmap'd `perf_event_mmap_page` for rdpmc reads; null when the page
+    /// could not be mapped.
+    page: *mut u8,
+}
+
+/// A per-thread group of hardware counters, or its TSC-only stand-in.
+///
+/// Opening **never fails**: on any denial the group degrades to
+/// [`PerfStatus::TscOnly`] and every read still yields a snapshot with
+/// TSC-derived cycle estimates. Dropping closes fds and unmaps pages.
+pub struct CounterGroup {
+    status: PerfStatus,
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    live: Vec<LiveCounter>,
+    /// TSC anchor used to estimate cycles in TSC-only mode.
+    tsc_origin: u64,
+}
+
+// SAFETY: the mmap pages are only dereferenced by the owning group, and
+// moving the group between threads just changes which thread reads its
+// (monitored-thread-bound) counters via read(2)/rdpmc — the kernel keys
+// events to the opened thread, not the reading thread.
+unsafe impl Send for CounterGroup {}
+
+impl CounterGroup {
+    /// Opens the five-counter group monitoring the **calling thread**.
+    ///
+    /// Degrades instead of failing: see the module docs. The returned
+    /// group is already enabled and counting.
+    pub fn open() -> CounterGroup {
+        if std::env::var_os(PERF_DENY_ENV).is_some_and(|v| v != "0" && !v.is_empty()) {
+            return Self::tsc_only(PERF_DENY_ENV.to_string());
+        }
+        Self::open_real()
+    }
+
+    fn tsc_only(reason: String) -> CounterGroup {
+        CounterGroup {
+            status: PerfStatus::TscOnly { reason },
+            #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+            live: Vec::new(),
+            tsc_origin: clock::raw_now(),
+        }
+    }
+
+    #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+    fn open_real() -> CounterGroup {
+        Self::tsc_only("unsupported platform".to_string())
+    }
+
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    fn open_real() -> CounterGroup {
+        fn errno_name(e: i64) -> String {
+            match e {
+                EPERM => "EPERM".into(),
+                ENOENT => "ENOENT (no PMU)".into(),
+                EACCES => "EACCES".into(),
+                ENOSYS => "ENOSYS".into(),
+                other => format!("errno {other}"),
+            }
+        }
+
+        let mut live: Vec<LiveCounter> = Vec::with_capacity(NUM_COUNTERS);
+        let mut leader_fd: i64 = -1;
+        for kind in ALL_COUNTERS {
+            let (type_, config) = kind.attr_type_config();
+            let mut attr: PerfEventAttr = unsafe { core::mem::zeroed() };
+            attr.type_ = type_;
+            attr.size = PERF_ATTR_SIZE_VER5;
+            attr.config = config;
+            attr.read_format = PERF_FORMAT_GROUP
+                | PERF_FORMAT_TOTAL_TIME_ENABLED
+                | PERF_FORMAT_TOTAL_TIME_RUNNING
+                | PERF_FORMAT_ID;
+            // Leader starts disabled (enabled once the group is built);
+            // siblings inherit the leader's schedule.
+            attr.flags = ATTR_FLAG_EXCLUDE_KERNEL | ATTR_FLAG_EXCLUDE_HV;
+            if leader_fd < 0 {
+                attr.flags |= ATTR_FLAG_DISABLED;
+            }
+            // perf_event_open(attr, pid=0 (self), cpu=-1 (any), group_fd, flags=0)
+            let ret = unsafe {
+                sys::syscall5(
+                    sys::SYS_PERF_EVENT_OPEN,
+                    &attr as *const PerfEventAttr as i64,
+                    0,
+                    -1,
+                    leader_fd,
+                    0,
+                )
+            };
+            if ret < 0 {
+                let err = -ret;
+                if leader_fd < 0 {
+                    // The leader (cycles) failed: nothing to salvage.
+                    return Self::tsc_only(errno_name(err));
+                }
+                // A sibling failed (e.g. cache events unsupported on this
+                // PMU): mark it unavailable and carry on with the rest.
+                continue;
+            }
+            let fd = ret as i32;
+            if leader_fd < 0 {
+                leader_fd = ret;
+            }
+            // Map the metadata page for rdpmc; failure just means syscall
+            // reads for this counter.
+            let page = map_perf_page(fd);
+            live.push(LiveCounter {
+                fd,
+                id: 0,
+                kind,
+                page,
+            });
+        }
+
+        if live.is_empty() {
+            return Self::tsc_only("no counters opened".into());
+        }
+
+        // Reset and enable the whole group through the leader.
+        unsafe {
+            let lf = live[0].fd as i64;
+            sys::syscall5(sys::SYS_IOCTL, lf, PERF_EVENT_IOC_RESET as i64, 1, 0, 0);
+            sys::syscall5(sys::SYS_IOCTL, lf, PERF_EVENT_IOC_ENABLE as i64, 1, 0, 0);
+        }
+
+        let mut group = CounterGroup {
+            status: PerfStatus::Hardware { rdpmc: false },
+            live,
+            tsc_origin: clock::raw_now(),
+        };
+
+        // Learn each event's kernel id (matches read(2) group records) and
+        // whether every page advertises rdpmc capability.
+        group.learn_ids();
+        let rdpmc = group
+            .live
+            .iter()
+            .all(|c| !c.page.is_null() && unsafe { page_cap_rdpmc(c.page) });
+        group.status = PerfStatus::Hardware { rdpmc };
+        group
+    }
+
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    fn learn_ids(&mut self) {
+        // One group read through the leader: the returned records are in
+        // creation order, carrying each event's id.
+        if let Some(buf) = self.read_group_raw() {
+            let nr = buf[0] as usize;
+            for (i, c) in self.live.iter_mut().enumerate() {
+                if i < nr {
+                    // layout: nr, time_enabled, time_running, (value, id)*
+                    c.id = buf[3 + 2 * i + 1];
+                }
+            }
+        }
+    }
+
+    /// read(2) on the leader with PERF_FORMAT_GROUP:
+    /// `[nr, time_enabled, time_running, value0, id0, value1, id1, ...]`.
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    fn read_group_raw(&self) -> Option<Vec<u64>> {
+        let words = 3 + 2 * NUM_COUNTERS;
+        let mut buf = vec![0u64; words];
+        let n = unsafe {
+            sys::syscall5(
+                sys::SYS_READ,
+                self.live[0].fd as i64,
+                buf.as_mut_ptr() as i64,
+                (words * 8) as i64,
+                0,
+                0,
+            )
+        };
+        if n < 24 {
+            return None;
+        }
+        Some(buf)
+    }
+
+    /// How this group is sourcing numbers.
+    pub fn status(&self) -> &PerfStatus {
+        &self.status
+    }
+
+    /// Takes a snapshot of every counter plus the TSC.
+    ///
+    /// In TSC-only mode the cycles slot carries the raw TSC delta since
+    /// the group opened (an *estimate* — on a modern invariant-TSC part
+    /// the TSC ticks at base frequency, not the current core clock) and
+    /// every other slot is unavailable.
+    pub fn snapshot(&self) -> GroupSnapshot {
+        let tsc = clock::raw_now();
+        match &self.status {
+            PerfStatus::TscOnly { .. } => {
+                let mut s = GroupSnapshot {
+                    tsc,
+                    ..Default::default()
+                };
+                let i = CounterKind::Cycles as usize;
+                s.counts[i] = tsc.saturating_sub(self.tsc_origin);
+                s.available[i] = true;
+                // measured stays false: TSC-derived cycles are estimates.
+                s
+            }
+            #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+            PerfStatus::Hardware { .. } => unreachable!("hardware mode requires linux/x86_64"),
+            #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+            PerfStatus::Hardware { rdpmc } => {
+                let mut s = GroupSnapshot {
+                    tsc,
+                    ..Default::default()
+                };
+                if *rdpmc {
+                    if self.snapshot_rdpmc(&mut s) {
+                        return s;
+                    }
+                    // rdpmc raced with a reschedule too many times; the
+                    // syscall path below is always safe.
+                }
+                self.snapshot_syscall(&mut s);
+                s
+            }
+        }
+    }
+
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    fn snapshot_syscall(&self, s: &mut GroupSnapshot) {
+        let Some(buf) = self.read_group_raw() else {
+            return;
+        };
+        let nr = buf[0] as usize;
+        s.time_enabled = buf[1];
+        s.time_running = buf[2];
+        for (i, c) in self.live.iter().enumerate() {
+            if i >= nr {
+                break;
+            }
+            let raw = buf[3 + 2 * i];
+            let (scaled, estimated) = scale_count(raw, s.time_enabled, s.time_running);
+            let slot = c.kind as usize;
+            s.counts[slot] = scaled;
+            s.available[slot] = true;
+            s.measured[slot] = !estimated;
+        }
+    }
+
+    /// User-space read of every counter through its mmap page. Returns
+    /// false if any page's seqlock kept moving (caller falls back).
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    fn snapshot_rdpmc(&self, s: &mut GroupSnapshot) -> bool {
+        for c in &self.live {
+            match unsafe { rdpmc_read(c.page) } {
+                Some((value, enabled, running)) => {
+                    let (scaled, estimated) = scale_count(value, enabled, running);
+                    let slot = c.kind as usize;
+                    s.counts[slot] = scaled;
+                    s.available[slot] = true;
+                    s.measured[slot] = !estimated;
+                    s.time_enabled = s.time_enabled.max(enabled);
+                    s.time_running = s.time_running.max(running);
+                }
+                None => return false,
+            }
+        }
+        true
+    }
+}
+
+impl Drop for CounterGroup {
+    fn drop(&mut self) {
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        for c in &self.live {
+            unsafe {
+                if !c.page.is_null() {
+                    sys::syscall5(sys::SYS_MUNMAP, c.page as i64, PAGE_SIZE as i64, 0, 0, 0);
+                }
+                sys::syscall5(sys::SYS_CLOSE, c.fd as i64, 0, 0, 0, 0);
+            }
+        }
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+const PAGE_SIZE: usize = 4096;
+
+/// mmap of one page over a perf fd (PROT_READ|WRITE, MAP_SHARED, offset 0).
+/// Returns null on failure.
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+fn map_perf_page(fd: i32) -> *mut u8 {
+    // mmap takes 6 arguments; r9 carries the offset.
+    unsafe {
+        let ret: i64;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") sys::SYS_MMAP => ret,
+            in("rdi") 0i64,
+            in("rsi") PAGE_SIZE as i64,
+            in("rdx") 0x1i64 | 0x2, // PROT_READ | PROT_WRITE
+            in("r10") 0x1i64,       // MAP_SHARED
+            in("r8") fd as i64,
+            in("r9") 0i64,
+            out("rcx") _,
+            out("r11") _,
+            options(nostack),
+        );
+        if ret < 0 {
+            core::ptr::null_mut()
+        } else {
+            ret as *mut u8
+        }
+    }
+}
+
+// Offsets into struct perf_event_mmap_page (stable ABI).
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+mod page {
+    pub const LOCK: usize = 8; // u32 seqlock
+    pub const INDEX: usize = 12; // u32 rdpmc index (0 = unavailable)
+    pub const OFFSET: usize = 16; // i64 to add to the pmc value
+    pub const TIME_ENABLED: usize = 24; // u64
+    pub const TIME_RUNNING: usize = 32; // u64
+    pub const CAPABILITIES: usize = 40; // u64 bitfield; bit 2 = cap_user_rdpmc
+}
+
+/// SAFETY: `p` must be a live perf mmap page.
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+unsafe fn page_cap_rdpmc(p: *mut u8) -> bool {
+    let caps = (p.add(page::CAPABILITIES) as *const u64).read_volatile();
+    caps & (1 << 2) != 0
+}
+
+/// Seqlock-protected user-space counter read:
+/// `(value, time_enabled, time_running)`, or `None` after too many racing
+/// retries / rdpmc-unavailable.
+///
+/// SAFETY: `p` must be a live perf mmap page with `cap_user_rdpmc` set.
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+unsafe fn rdpmc_read(p: *mut u8) -> Option<(u64, u64, u64)> {
+    for _ in 0..16 {
+        let seq = (p.add(page::LOCK) as *const u32).read_volatile();
+        core::sync::atomic::fence(core::sync::atomic::Ordering::Acquire);
+        let index = (p.add(page::INDEX) as *const u32).read_volatile();
+        let offset = (p.add(page::OFFSET) as *const i64).read_volatile();
+        let enabled = (p.add(page::TIME_ENABLED) as *const u64).read_volatile();
+        let running = (p.add(page::TIME_RUNNING) as *const u64).read_volatile();
+        if index == 0 {
+            // Not currently on hardware (multiplexed out); the stored
+            // offset alone is the count so far.
+            core::sync::atomic::fence(core::sync::atomic::Ordering::Acquire);
+            if (p.add(page::LOCK) as *const u32).read_volatile() == seq {
+                return Some((offset.max(0) as u64, enabled, running));
+            }
+            continue;
+        }
+        let pmc = sys::rdpmc(index - 1);
+        // Counters are 48-bit on most PMUs; sign-extend via the offset.
+        let value = offset.wrapping_add((pmc & ((1 << 48) - 1)) as i64);
+        core::sync::atomic::fence(core::sync::atomic::Ordering::Acquire);
+        if (p.add(page::LOCK) as *const u32).read_volatile() == seq {
+            return Some((value.max(0) as u64, enabled, running));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_names_round_trip() {
+        for c in ALL_COUNTERS {
+            assert_eq!(CounterKind::from_name(c.name()), Some(c));
+        }
+        assert_eq!(CounterKind::from_name("tlb_miss"), None);
+        let mut names: Vec<&str> = ALL_COUNTERS.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_COUNTERS);
+    }
+
+    #[test]
+    fn scaling_is_identity_when_never_multiplexed() {
+        assert_eq!(scale_count(1000, 500, 500), (1000, false));
+        assert_eq!(scale_count(0, 0, 0), (0, false));
+    }
+
+    #[test]
+    fn scaling_extrapolates_when_multiplexed() {
+        // Ran half the time: double the count, flagged as estimated.
+        assert_eq!(scale_count(1000, 800, 400), (2000, true));
+        // Ran a third of the time.
+        assert_eq!(scale_count(300, 900, 300), (900, true));
+    }
+
+    #[test]
+    fn scaling_handles_never_scheduled() {
+        assert_eq!(scale_count(0, 1000, 0), (0, true));
+        // Even a spurious nonzero value is zeroed: it cannot be trusted.
+        assert_eq!(scale_count(7, 1000, 0), (0, true));
+    }
+
+    #[test]
+    fn scaling_does_not_overflow_u64() {
+        let (v, est) = scale_count(u64::MAX / 2, u64::MAX, 1);
+        assert!(est);
+        assert_eq!(v, u64::MAX);
+    }
+
+    #[test]
+    fn denied_group_degrades_to_tsc_only_and_still_counts() {
+        // Force the denial path regardless of host configuration.
+        std::env::set_var(PERF_DENY_ENV, "1");
+        let g = CounterGroup::open();
+        std::env::remove_var(PERF_DENY_ENV);
+        match g.status() {
+            PerfStatus::TscOnly { reason } => assert_eq!(reason, PERF_DENY_ENV),
+            other => panic!("expected TscOnly, got {other:?}"),
+        }
+        assert_eq!(g.status().mode(), "tsc-only");
+        let a = g.snapshot();
+        // Burn some cycles so the TSC moves.
+        let mut x = 0u64;
+        for i in 0..100_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(x);
+        let b = g.snapshot();
+        let d = b.delta_since(&a);
+        assert!(d.is_available(CounterKind::Cycles));
+        assert!(
+            !d.is_measured(CounterKind::Cycles),
+            "TSC-derived cycles must be flagged as estimated"
+        );
+        assert!(d.count(CounterKind::Cycles) > 0, "TSC must have advanced");
+        for k in [
+            CounterKind::Instructions,
+            CounterKind::L1dMisses,
+            CounterKind::LlcMisses,
+            CounterKind::BranchMisses,
+        ] {
+            assert!(!d.is_available(k), "{k:?} cannot exist without perf");
+            assert_eq!(d.count(k), 0);
+        }
+    }
+
+    #[test]
+    fn open_never_panics_whatever_the_host_grants() {
+        // Whichever way the container is configured, open() must return a
+        // usable group with a coherent status.
+        let g = CounterGroup::open();
+        let s = g.snapshot();
+        match g.status() {
+            PerfStatus::Hardware { .. } => {
+                assert_eq!(g.status().mode(), "hardware");
+                assert!(s.is_available(CounterKind::Cycles));
+            }
+            PerfStatus::TscOnly { reason } => {
+                assert!(!reason.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn hardware_group_counts_real_work_if_granted() {
+        let g = CounterGroup::open();
+        if !matches!(g.status(), PerfStatus::Hardware { .. }) {
+            return; // container denied perf; the denial test covers this
+        }
+        let a = g.snapshot();
+        let mut x = 1u64;
+        for i in 0..1_000_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(x);
+        let b = g.snapshot();
+        let d = b.delta_since(&a);
+        assert!(d.count(CounterKind::Cycles) > 0, "cycles must advance");
+        assert!(
+            d.count(CounterKind::Instructions) > 1_000_000,
+            "the loop retired ≥1M instructions, counted {}",
+            d.count(CounterKind::Instructions)
+        );
+    }
+
+    #[test]
+    fn snapshot_delta_is_componentwise_and_saturating() {
+        let mut a = GroupSnapshot::default();
+        let mut b = GroupSnapshot::default();
+        a.tsc = 100;
+        b.tsc = 350;
+        a.counts[0] = 10;
+        b.counts[0] = 60;
+        a.available[0] = true;
+        b.available[0] = true;
+        a.measured[0] = true;
+        b.measured[0] = false; // became estimated mid-window
+        let d = b.delta_since(&a);
+        assert_eq!(d.tsc, 250);
+        assert_eq!(d.counts[0], 50);
+        assert!(d.available[0]);
+        assert!(!d.measured[0], "estimated at either endpoint taints the delta");
+        // Reversed order saturates instead of wrapping.
+        let r = a.delta_since(&b);
+        assert_eq!(r.counts[0], 0);
+        assert_eq!(r.tsc, 0);
+    }
+}
